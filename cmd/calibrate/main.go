@@ -1,0 +1,93 @@
+// Command calibrate runs the paper's optimizer calibration (Section 5)
+// over a lattice of resource allocations and prints the resulting
+// parameter vectors P(R). With -json it also writes the lattice as JSON
+// so the values can be inspected or post-processed.
+//
+// Usage:
+//
+//	calibrate [-cpu 0.25,0.5,0.75] [-mem 0.5] [-io 0.5] [-quick] [-json file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"dbvirt/internal/calibration"
+
+	"dbvirt/internal/vm"
+)
+
+func main() {
+	cpus := flag.String("cpu", "0.25,0.5,0.75", "CPU shares to calibrate")
+	mems := flag.String("mem", "0.5", "memory shares to calibrate")
+	ios := flag.String("io", "0.5", "I/O shares to calibrate")
+	quick := flag.Bool("quick", false, "use a small machine and calibration database")
+	jsonPath := flag.String("json", "", "write the calibrated lattice as JSON to this file")
+	flag.Parse()
+
+	cfg := calibration.DefaultConfig()
+	if *quick {
+		cfg.Machine.MemBytes = 8 << 20
+		cfg.NarrowRows = 4000
+		cfg.BigRows = 20000
+	}
+	cal := calibration.New(cfg)
+
+	cpuAxis := parseAxis(*cpus)
+	memAxis := parseAxis(*mems)
+	ioAxis := parseAxis(*ios)
+
+	grid, err := cal.CalibrateGrid(cpuAxis, memAxis, ioAxis)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-22s %9s %9s %9s %9s %9s %12s %8s\n",
+		"allocation", "cpu_tup", "cpu_op", "cpu_idx", "rand_pg", "overlap", "t_seq(ms)", "ecs(pg)")
+	for _, mem := range memAxis {
+		for _, io := range ioAxis {
+			for _, cpu := range cpuAxis {
+				sh := vm.Shares{CPU: cpu, Memory: mem, IO: io}
+				p, ok := grid.Lookup(sh)
+				if !ok {
+					fmt.Fprintf(os.Stderr, "calibrate: missing lattice point %v\n", sh)
+					os.Exit(1)
+				}
+				fmt.Printf("%-22s %9.5f %9.5f %9.5f %9.2f %9.2f %12.3f %8d\n",
+					sh, p.CPUTupleCost, p.CPUOperatorCost, p.CPUIndexTupleCost,
+					p.RandomPageCost, p.Overlap, p.TimePerSeqPage*1000, p.EffectiveCacheSizePages)
+			}
+		}
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := grid.SaveJSON(f); err != nil {
+			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote the calibrated lattice to %s (load with calibration.LoadGrid)\n", *jsonPath)
+	}
+}
+
+func parseAxis(s string) []float64 {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || v <= 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "calibrate: bad share %q\n", part)
+			os.Exit(1)
+		}
+		out = append(out, v)
+	}
+	return out
+}

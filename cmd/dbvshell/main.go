@@ -1,0 +1,158 @@
+// Command dbvshell is a batch SQL shell against the engine running inside
+// a configurable virtual machine: it reads statements separated by
+// semicolons from stdin (or -c), executes them, and prints results along
+// with the simulated cost of each statement. With -tpch it preloads the
+// TPC-H-like workload database.
+//
+// Usage:
+//
+//	echo "SELECT count(*) FROM orders;" | dbvshell -tpch -cpu 0.5 -mem 0.5 -io 0.5
+//	dbvshell -c "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"dbvirt/internal/engine"
+	"dbvirt/internal/vm"
+	"dbvirt/internal/workload"
+)
+
+func main() {
+	cpu := flag.Float64("cpu", 1.0, "VM CPU share")
+	mem := flag.Float64("mem", 1.0, "VM memory share")
+	ioShare := flag.Float64("io", 1.0, "VM I/O share")
+	tpch := flag.Bool("tpch", false, "preload the TPC-H-like database (tiny scale)")
+	command := flag.String("c", "", "execute this SQL instead of reading stdin")
+	explain := flag.Bool("explain", false, "print the plan of every SELECT before running it")
+	flag.Parse()
+
+	m, err := vm.NewMachine(vm.DefaultMachineConfig())
+	if err != nil {
+		fail("%v", err)
+	}
+	v, err := m.NewVM("shell", vm.Shares{CPU: *cpu, Memory: *mem, IO: *ioShare})
+	if err != nil {
+		fail("%v", err)
+	}
+	s, err := engine.NewSession(engine.NewDatabase(), v, engine.DefaultConfig())
+	if err != nil {
+		fail("%v", err)
+	}
+	if *tpch {
+		fmt.Fprintln(os.Stderr, "loading TPC-H-like database (tiny scale)...")
+		if err := workload.Build(s, workload.TinyScale(), 1); err != nil {
+			fail("load: %v", err)
+		}
+	}
+
+	var input string
+	if *command != "" {
+		input = *command
+	} else {
+		data, err := io.ReadAll(bufio.NewReader(os.Stdin))
+		if err != nil {
+			fail("reading stdin: %v", err)
+		}
+		input = string(data)
+	}
+
+	for _, stmt := range splitStatements(input) {
+		if err := runStatement(s, stmt, *explain); err != nil {
+			fail("%s: %v", firstLine(stmt), err)
+		}
+	}
+}
+
+func runStatement(s *engine.Session, stmt string, explain bool) error {
+	upper := strings.ToUpper(strings.TrimSpace(stmt))
+	start := s.VM.Snapshot()
+	switch {
+	case strings.HasPrefix(upper, "EXPLAIN"):
+		out, err := s.Explain(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case strings.HasPrefix(upper, "SELECT"):
+		if explain {
+			out, err := s.Explain(stmt)
+			if err != nil {
+				return err
+			}
+			fmt.Print(out)
+		}
+		rows, cols, err := s.QueryRows(stmt)
+		if err != nil {
+			return err
+		}
+		fmt.Println(strings.Join(cols, " | "))
+		for _, row := range rows {
+			var parts []string
+			for _, v := range row {
+				parts = append(parts, v.String())
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(rows))
+	default:
+		n, err := s.Exec(stmt)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			fmt.Printf("OK, %d rows affected\n", n)
+		} else {
+			fmt.Println("OK")
+		}
+	}
+	fmt.Printf("-- simulated time: %.6fs\n\n", s.VM.ElapsedSince(start))
+	return nil
+}
+
+// splitStatements splits on semicolons outside string literals.
+func splitStatements(input string) []string {
+	var out []string
+	var sb strings.Builder
+	inString := false
+	for i := 0; i < len(input); i++ {
+		c := input[i]
+		switch {
+		case c == '\'':
+			inString = !inString
+			sb.WriteByte(c)
+		case c == ';' && !inString:
+			if s := strings.TrimSpace(sb.String()); s != "" {
+				out = append(out, s)
+			}
+			sb.Reset()
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if s := strings.TrimSpace(sb.String()); s != "" {
+		out = append(out, s)
+	}
+	return out
+}
+
+func firstLine(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dbvshell: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command experiments regenerates every data-bearing figure of the paper
+// (Figures 3, 4, 5) plus the ablation and extension studies listed in
+// DESIGN.md, printing the same rows/series the paper reports.
+//
+// Usage:
+//
+//	experiments [-fig 3|4|5|all] [-ablations] [-quick]
+//
+// -quick runs at a reduced scale (smaller machine and dataset); the
+// shapes are preserved.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbvirt/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, or all")
+	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
+	quick := flag.Bool("quick", false, "run at reduced scale")
+	flag.Parse()
+
+	env := experiments.DefaultEnv()
+	if *quick {
+		env = experiments.QuickEnv()
+	}
+
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	if *fig == "3" || *fig == "all" {
+		run("figure 3", func() error {
+			rows, err := env.Figure3([]float64{0.25, 0.5, 0.75}, []float64{0.25, 0.5, 0.75}, 0.5)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure3(rows))
+			fmt.Println()
+			return nil
+		})
+	}
+	if *fig == "4" || *fig == "all" {
+		run("figure 4", func() error {
+			res, err := env.Figure4([]float64{0.25, 0.5, 0.75})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure4(res))
+			fmt.Println()
+			return nil
+		})
+	}
+	if *fig == "5" || *fig == "all" {
+		run("figure 5", func() error {
+			res, err := env.Figure5()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigure5(res))
+			fmt.Println()
+			return nil
+		})
+	}
+
+	if *ablations {
+		run("search ablation", func() error {
+			rows, err := env.AblationSearch(3, 0.25)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSearch(rows))
+			fmt.Println()
+			return nil
+		})
+		run("grid ablation", func() error {
+			rows, err := env.AblationCalibrationGrid()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatGrid(rows))
+			fmt.Println()
+			return nil
+		})
+		run("overlap ablation", func() error {
+			rows, err := env.AblationOverlap([]float64{0, 0.5, 0.75, 1})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatOverlap(rows))
+			fmt.Println()
+			return nil
+		})
+		run("dynamic extension", func() error {
+			res, err := env.DynamicReconfig()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatDynamic(res))
+			fmt.Println()
+			return nil
+		})
+		run("SLO extension", func() error {
+			res, err := env.SLOWeighted()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatSLO(res))
+			fmt.Println()
+			return nil
+		})
+		run("memory dimension", func() error {
+			res, err := env.MemoryDimension()
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatMemoryDimension(res))
+			return nil
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module dbvirt
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package buffer implements the engine's buffer pool: a fixed set of page
+// frames managed with clock-sweep replacement. The pool is the point where
+// simulated I/O cost is charged to the owning virtual machine — a miss
+// costs a sequential or random page read (per the caller's access hint),
+// an eviction of a dirty frame costs a page write, and a hit costs a few
+// CPU operations. The pool's capacity is derived from the VM's memory
+// share, which is how the memory dimension of the virtualization design
+// problem reaches query performance.
+package buffer
+
+import (
+	"fmt"
+
+	"dbvirt/internal/storage"
+	"dbvirt/internal/vm"
+)
+
+// HitCPUOps is the CPU cost charged for a buffer hit (hash lookup + latch).
+const HitCPUOps = 50
+
+// Stats counts buffer pool events since creation.
+type Stats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	WriteBacks int64
+}
+
+// HitRate returns hits / (hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+type frame struct {
+	id       storage.PageID
+	data     storage.PageData
+	pins     int
+	dirty    bool
+	refBit   bool
+	occupied bool
+}
+
+// Pool is a buffer pool bound to one VM. It is not safe for concurrent
+// use; each session drives its pool from one goroutine.
+type Pool struct {
+	disk   *storage.DiskManager
+	vm     *vm.VM
+	frames []frame
+	table  map[storage.PageID]int
+	hand   int
+	stats  Stats
+}
+
+// NewPool creates a pool of the given number of frames.
+func NewPool(disk *storage.DiskManager, v *vm.VM, numFrames int) (*Pool, error) {
+	if numFrames < 1 {
+		return nil, fmt.Errorf("buffer: pool needs at least 1 frame, got %d", numFrames)
+	}
+	return &Pool{
+		disk:   disk,
+		vm:     v,
+		frames: make([]frame, numFrames),
+		table:  make(map[storage.PageID]int, numFrames),
+	}, nil
+}
+
+// PoolSizeForVM returns the number of frames a VM's memory share affords,
+// after reserving the given fraction of memory for working memory (sorts,
+// hash tables) and engine overhead.
+func PoolSizeForVM(v *vm.VM, bufferFrac float64) int {
+	n := int(float64(v.MemBytes()) * bufferFrac / storage.PageSize)
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// NumFrames returns the pool capacity.
+func (p *Pool) NumFrames() int { return len(p.frames) }
+
+// Stats returns a copy of the pool's event counters.
+func (p *Pool) Stats() Stats { return p.stats }
+
+// VM returns the virtual machine this pool charges.
+func (p *Pool) VM() *vm.VM { return p.vm }
+
+// Fetch pins the page and returns its data, reading it from disk on a miss.
+func (p *Pool) Fetch(id storage.PageID, hint storage.AccessHint) (*storage.PageData, error) {
+	if idx, ok := p.table[id]; ok {
+		f := &p.frames[idx]
+		f.pins++
+		f.refBit = true
+		p.stats.Hits++
+		p.vm.AccountCPU(HitCPUOps)
+		return &f.data, nil
+	}
+	idx, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	f := &p.frames[idx]
+	if err := p.disk.ReadPage(id, &f.data); err != nil {
+		f.occupied = false
+		return nil, err
+	}
+	p.stats.Misses++
+	switch hint {
+	case storage.RandHint:
+		p.vm.AccountRandRead(1)
+	default:
+		p.vm.AccountSeqRead(1)
+	}
+	f.id = id
+	f.pins = 1
+	f.dirty = false
+	f.refBit = true
+	f.occupied = true
+	p.table[id] = idx
+	return &f.data, nil
+}
+
+// Unpin releases one pin on the page, marking the frame dirty if the
+// caller modified it. Unpinning a page that is not resident or not pinned
+// panics: it is a bug in the storage layer, never a runtime condition.
+func (p *Pool) Unpin(id storage.PageID, dirty bool) {
+	idx, ok := p.table[id]
+	if !ok {
+		panic(fmt.Sprintf("buffer: Unpin of non-resident page %s", id))
+	}
+	f := &p.frames[idx]
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("buffer: Unpin of unpinned page %s", id))
+	}
+	f.pins--
+	if dirty {
+		f.dirty = true
+	}
+}
+
+// Allocate appends a zeroed page to the file and pins it in the pool.
+// Allocation itself is not charged as a read; the eventual write-back of
+// the dirty frame is charged.
+func (p *Pool) Allocate(fid storage.FileID) (storage.PageID, *storage.PageData, error) {
+	pageNo, err := p.disk.Allocate(fid)
+	if err != nil {
+		return storage.PageID{}, nil, err
+	}
+	id := storage.PageID{File: fid, Page: pageNo}
+	idx, err := p.victim()
+	if err != nil {
+		return storage.PageID{}, nil, err
+	}
+	f := &p.frames[idx]
+	f.data = storage.PageData{}
+	f.id = id
+	f.pins = 1
+	f.dirty = true // a new page must reach disk even if never re-dirtied
+	f.refBit = true
+	f.occupied = true
+	p.table[id] = idx
+	return id, &f.data, nil
+}
+
+// NumPages returns the length of the file in pages.
+func (p *Pool) NumPages(f storage.FileID) uint32 { return p.disk.NumPages(f) }
+
+// victim finds a free frame, evicting an unpinned page with the clock
+// algorithm if necessary. The returned frame is unoccupied.
+func (p *Pool) victim() (int, error) {
+	n := len(p.frames)
+	// Two full sweeps: the first clears reference bits, the second takes
+	// any unpinned frame.
+	for sweep := 0; sweep < 2*n; sweep++ {
+		idx := p.hand
+		p.hand = (p.hand + 1) % n
+		f := &p.frames[idx]
+		if !f.occupied {
+			return idx, nil
+		}
+		if f.pins > 0 {
+			continue
+		}
+		if f.refBit {
+			f.refBit = false
+			continue
+		}
+		if err := p.evict(idx); err != nil {
+			return 0, err
+		}
+		return idx, nil
+	}
+	return 0, fmt.Errorf("buffer: all %d frames pinned", n)
+}
+
+// evict writes back frame idx if dirty and removes it from the table.
+func (p *Pool) evict(idx int) error {
+	f := &p.frames[idx]
+	if f.dirty {
+		if err := p.disk.WritePage(f.id, &f.data); err != nil {
+			return err
+		}
+		p.vm.AccountWrite(1)
+		p.stats.WriteBacks++
+	}
+	p.stats.Evictions++
+	delete(p.table, f.id)
+	f.occupied = false
+	return nil
+}
+
+// FlushAll writes every dirty resident page to disk (charging writes) but
+// keeps pages resident. Used after bulk loads.
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		f := &p.frames[i]
+		if f.occupied && f.dirty {
+			if err := p.disk.WritePage(f.id, &f.data); err != nil {
+				return err
+			}
+			p.vm.AccountWrite(1)
+			p.stats.WriteBacks++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// Resident reports whether a page is currently in the pool (for tests).
+func (p *Pool) Resident(id storage.PageID) bool {
+	_, ok := p.table[id]
+	return ok
+}
+
+// PinnedCount returns the number of frames with at least one pin.
+func (p *Pool) PinnedCount() int {
+	var n int
+	for i := range p.frames {
+		if p.frames[i].occupied && p.frames[i].pins > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+var _ storage.Pager = (*Pool)(nil)

@@ -1,0 +1,428 @@
+// Package calibration implements Section 5 of the paper: obtaining the
+// optimizer parameter vector P for a resource allocation R by running
+// designed synthetic queries on a synthetic database inside a virtual
+// machine configured with allocation R, measuring their (simulated)
+// execution times, and solving the resulting linear systems for the
+// parameters.
+//
+// The calibration is staged so that each unknown is measured in a regime
+// where it dominates:
+//
+//  1. CPU parameters (cpu_tuple_cost, cpu_operator_cost,
+//     cpu_index_tuple_cost) come from warm-cache probes on a small table:
+//     with no I/O, elapsed time is pure CPU and the probe times form a
+//     least-squares system in the per-tuple/per-operator/per-index-entry
+//     times.
+//  2. The sequential page time (the paper's unit cost and our
+//     TimePerSeqPage) comes from cold scans of a large table, where the
+//     CPU contribution — predicted from stage 1 — is subtracted after
+//     fitting an unknown CPU/I-O overlap factor.
+//  3. The random page time comes from a cold, uncorrelated index probe.
+//
+// The resulting parameters are expressed as ratios to the sequential page
+// time, exactly like PostgreSQL's seq_page_cost=1 convention, and cached
+// per allocation. A Grid calibrates a lattice of allocations and
+// interpolates between them — the paper's proposed remedy for the cost of
+// calibration experiments.
+package calibration
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"dbvirt/internal/engine"
+	"dbvirt/internal/linalg"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/storage"
+	"dbvirt/internal/types"
+	"dbvirt/internal/vm"
+)
+
+// Config controls the calibration environment.
+type Config struct {
+	// Machine is the physical machine model to calibrate against.
+	Machine vm.MachineConfig
+	// Engine is the session configuration (buffer/work-mem split); it must
+	// match the configuration of the sessions the calibrated parameters
+	// will plan for.
+	Engine engine.Config
+	// NarrowRows sizes the warm-probe table (must fit the pool at every
+	// calibrated memory share).
+	NarrowRows int
+	// BigRows sizes the cold-probe table (must exceed the pool at every
+	// calibrated memory share).
+	BigRows int
+	// RandProbeRows is the target number of rows fetched by the random-I/O
+	// probe.
+	RandProbeRows int
+	// Seed makes the synthetic database deterministic.
+	Seed int64
+}
+
+// DefaultConfig calibrates the default machine.
+func DefaultConfig() Config {
+	return Config{
+		Machine:       vm.DefaultMachineConfig(),
+		Engine:        engine.DefaultConfig(),
+		NarrowRows:    20000,
+		BigRows:       130000,
+		RandProbeRows: 200,
+		Seed:          1,
+	}
+}
+
+// Calibrator owns the synthetic calibration database and a parameter
+// cache. It is safe for concurrent use.
+type Calibrator struct {
+	cfg Config
+
+	buildOnce      sync.Once
+	buildErr       error
+	db             *engine.Database
+	bigPages       float64
+	bigRows        float64
+	narrowRows     float64
+	randLo, randHi int64   // key range of the random probe
+	randK          float64 // exact rows matched by the probe
+
+	mu    sync.Mutex
+	cache map[[3]int64]optimizer.Params
+}
+
+// New creates a calibrator for the given configuration.
+func New(cfg Config) *Calibrator {
+	return &Calibrator{cfg: cfg, cache: make(map[[3]int64]optimizer.Params)}
+}
+
+// Config returns the calibrator's configuration.
+func (c *Calibrator) Config() Config { return c.cfg }
+
+const padLen = 420 // big-table padding: ~16 rows per 8 KiB page
+
+// buildDB constructs the synthetic calibration database once.
+func (c *Calibrator) buildDB() error {
+	c.buildOnce.Do(func() { c.buildErr = c.doBuild() })
+	return c.buildErr
+}
+
+func (c *Calibrator) doBuild() error {
+	m, err := vm.NewMachine(c.cfg.Machine)
+	if err != nil {
+		return err
+	}
+	loaderVM, err := m.NewVM("cal-loader", vm.Shares{CPU: 1, Memory: 1, IO: 1})
+	if err != nil {
+		return err
+	}
+	db := engine.NewDatabase()
+	s, err := engine.NewSession(db, loaderVM, c.cfg.Engine)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(c.cfg.Seed))
+
+	if _, err := s.Exec(`CREATE TABLE cal_narrow (a INT, b INT, c INT)`); err != nil {
+		return err
+	}
+	narrow, err := db.Catalog.Table("cal_narrow")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < c.cfg.NarrowRows; i++ {
+		tup := storage.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(rng.Intn(1000))),
+			types.NewInt(int64(1000 + rng.Intn(1000))),
+		}
+		if err := s.InsertTuple(narrow, tup); err != nil {
+			return err
+		}
+	}
+	if _, err := s.Exec(`CREATE INDEX cal_narrow_a ON cal_narrow (a)`); err != nil {
+		return err
+	}
+
+	if _, err := s.Exec(`CREATE TABLE cal_big (a INT, b INT, c INT, r INT, pad TEXT)`); err != nil {
+		return err
+	}
+	big, err := db.Catalog.Table("cal_big")
+	if err != nil {
+		return err
+	}
+	pad := make([]byte, padLen)
+	for i := range pad {
+		pad[i] = 'x'
+	}
+	var randK int64
+	// The random probe selects r in [randLo, randHi]; r is uniform over
+	// [0, BigRows), so a window of RandProbeRows keys matches ~that many
+	// rows, scattered uniformly over the heap.
+	c.randLo = int64(c.cfg.BigRows / 2)
+	c.randHi = c.randLo + int64(c.cfg.RandProbeRows) - 1
+	for i := 0; i < c.cfg.BigRows; i++ {
+		r := int64(rng.Intn(c.cfg.BigRows))
+		if r >= c.randLo && r <= c.randHi {
+			randK++
+		}
+		tup := storage.Tuple{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(rng.Intn(1000))),
+			types.NewInt(int64(1000 + rng.Intn(1000))),
+			types.NewInt(r),
+			types.NewString(string(pad)),
+		}
+		if err := s.InsertTuple(big, tup); err != nil {
+			return err
+		}
+	}
+	if _, err := s.Exec(`CREATE INDEX cal_big_r ON cal_big (r)`); err != nil {
+		return err
+	}
+	if _, err := s.Exec("ANALYZE"); err != nil {
+		return err
+	}
+	if err := s.Pool.FlushAll(); err != nil {
+		return err
+	}
+
+	c.db = db
+	c.bigPages = float64(db.Disk.NumPages(big.Heap.FileID()))
+	c.bigRows = float64(c.cfg.BigRows)
+	c.narrowRows = float64(c.cfg.NarrowRows)
+	c.randK = float64(randK)
+
+	// The cold-probe table must exceed the buffer pool even at a full
+	// memory share, or the stage B/C probes would not be I/O-bound and the
+	// fitted page times would be meaningless.
+	maxPool := float64(c.cfg.Machine.MemBytes) * c.cfg.Engine.BufferFrac / storage.PageSize
+	if c.bigPages <= 1.2*maxPool {
+		return fmt.Errorf("calibration: big table (%d pages) must exceed the largest possible buffer pool (%d pages) by 20%%; increase BigRows or shrink the machine memory",
+			int(c.bigPages), int(maxPool))
+	}
+	narrowTable, err := db.Catalog.Table("cal_narrow")
+	if err != nil {
+		return err
+	}
+	narrowPages := float64(db.Disk.NumPages(narrowTable.Heap.FileID()))
+	if narrowPages > 0.5*maxPool*minMemShare {
+		return fmt.Errorf("calibration: narrow table (%d pages) must fit the smallest calibrated pool; decrease NarrowRows",
+			int(narrowPages))
+	}
+	return nil
+}
+
+// minMemShare is the smallest memory share the calibrator supports; the
+// narrow table must stay cached down to this share.
+const minMemShare = 0.2
+
+// newMeasureSession creates a fresh session (cold buffer pool) on a fresh
+// machine with the given shares.
+func (c *Calibrator) newMeasureSession(shares vm.Shares) (*engine.Session, error) {
+	m, err := vm.NewMachine(c.cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	v, err := m.NewVM("cal", shares)
+	if err != nil {
+		return nil, err
+	}
+	return engine.NewSession(c.db, v, c.cfg.Engine)
+}
+
+// timeQuery runs a query and returns its simulated elapsed seconds.
+func timeQuery(s *engine.Session, query string) (float64, error) {
+	start := s.VM.Snapshot()
+	if _, err := s.RunStatement(query); err != nil {
+		return 0, err
+	}
+	return s.VM.ElapsedSince(start), nil
+}
+
+// requirePlanNode verifies the session would execute the probe with the
+// expected access method; a degenerate probe plan would invalidate the
+// linear model behind the calibration equations.
+func requirePlanNode(s *engine.Session, query, nodeName string) error {
+	expl, err := s.Explain(query)
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(expl, nodeName) {
+		return fmt.Errorf("calibration: probe %q did not plan as %s:\n%s", query, nodeName, expl)
+	}
+	return nil
+}
+
+func cacheKey(shares vm.Shares) [3]int64 {
+	q := func(f float64) int64 { return int64(math.Round(f * 1e6)) }
+	return [3]int64{q(shares.CPU), q(shares.Memory), q(shares.IO)}
+}
+
+// Calibrate measures and returns the optimizer parameters P for the given
+// resource allocation R. Results are cached per allocation.
+func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
+	if !shares.Valid() {
+		return optimizer.Params{}, fmt.Errorf("calibration: invalid shares %v", shares)
+	}
+	key := cacheKey(shares)
+	c.mu.Lock()
+	if p, ok := c.cache[key]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	if err := c.buildDB(); err != nil {
+		return optimizer.Params{}, err
+	}
+	p, err := c.measure(shares)
+	if err != nil {
+		return optimizer.Params{}, err
+	}
+	c.mu.Lock()
+	c.cache[key] = p
+	c.mu.Unlock()
+	return p, nil
+}
+
+// measure runs the full probe suite at one allocation.
+func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
+	// --- Stage A: warm CPU probes on the narrow table ---
+	warm, err := c.newMeasureSession(shares)
+	if err != nil {
+		return optimizer.Params{}, err
+	}
+	T := c.narrowRows
+	K := math.Floor(T / 20) // index probe range size
+	cpuProbes := []struct {
+		query string
+		coef  []float64 // [tTup, tOp, tIdxTup]
+	}{
+		// max(a): per row 1 tuple + 1 aggregate transition.
+		{"SELECT max(a) FROM cal_narrow", []float64{T, T, 0}},
+		// Two always-true filter operators on top.
+		{"SELECT max(a) FROM cal_narrow WHERE b < c AND c < 999999", []float64{T, 3 * T, 0}},
+		// Three filter operators.
+		{"SELECT max(a) FROM cal_narrow WHERE b < c AND c < 999999 AND b < 888888", []float64{T, 4 * T, 0}},
+		// Correlated index range: K index entries + K tuples + K agg ops.
+		{fmt.Sprintf("SELECT max(a) FROM cal_narrow WHERE a BETWEEN 0 AND %d", int64(K)-1), []float64{K, K, K}},
+	}
+	var rows [][]float64
+	var rhs []float64
+	for _, pr := range cpuProbes {
+		// First run warms the cache; the second is the measurement.
+		if _, err := timeQuery(warm, pr.query); err != nil {
+			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pr.query, err)
+		}
+		el, err := timeQuery(warm, pr.query)
+		if err != nil {
+			return optimizer.Params{}, err
+		}
+		rows = append(rows, pr.coef)
+		rhs = append(rhs, el)
+	}
+	cpuSol, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	if err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: CPU stage: %w", err)
+	}
+	tTup, tOp, tIdxTup := cpuSol[0], cpuSol[1], cpuSol[2]
+	if tTup <= 0 || tOp <= 0 || tIdxTup <= 0 {
+		return optimizer.Params{}, fmt.Errorf("calibration: non-positive CPU parameters %v", cpuSol)
+	}
+
+	// --- Stage B: cold sequential scans of the big table ---
+	// elapsed = pages*tSeq + gamma*cpu, with cpu predicted from stage A
+	// and gamma the effective (1 - overlap) factor.
+	R := c.bigRows
+	S := c.bigPages
+	bigProbes := []struct {
+		query string
+		cpu   float64
+	}{
+		{"SELECT max(a) FROM cal_big", R * (tTup + tOp)},
+		{"SELECT max(a) FROM cal_big WHERE b < c AND c < 999999", R * (tTup + 3*tOp)},
+		{"SELECT max(a) FROM cal_big WHERE b < c AND c < 999999 AND b < 888888 AND b < 777777", R * (tTup + 5*tOp)},
+	}
+	rows = rows[:0]
+	rhs = rhs[:0]
+	for _, pr := range bigProbes {
+		cold, err := c.newMeasureSession(shares)
+		if err != nil {
+			return optimizer.Params{}, err
+		}
+		if err := requirePlanNode(cold, pr.query, "SeqScan"); err != nil {
+			return optimizer.Params{}, err
+		}
+		el, err := timeQuery(cold, pr.query)
+		if err != nil {
+			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pr.query, err)
+		}
+		rows = append(rows, []float64{S, pr.cpu})
+		rhs = append(rhs, el)
+	}
+	seqSol, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	if err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: seq stage: %w", err)
+	}
+	tSeq, gamma := seqSol[0], seqSol[1]
+	if tSeq <= 0 {
+		return optimizer.Params{}, fmt.Errorf("calibration: non-positive tSeq %g", tSeq)
+	}
+	if gamma < 0 {
+		gamma = 0
+	}
+
+	// --- Stage C: cold random index probe ---
+	cold, err := c.newMeasureSession(shares)
+	if err != nil {
+		return optimizer.Params{}, err
+	}
+	probe := fmt.Sprintf("SELECT count(*) FROM cal_big WHERE r BETWEEN %d AND %d", c.randLo, c.randHi)
+	if err := requirePlanNode(cold, probe, "IndexScan"); err != nil {
+		return optimizer.Params{}, err
+	}
+	el, err := timeQuery(cold, probe)
+	if err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: random probe: %w", err)
+	}
+	kk := c.randK
+	cpuC := kk * (tIdxTup + tTup + tOp)
+	// K heap pages (scattered) plus tree descent and a few leaf pages.
+	denom := kk + 4
+	tRand := (el - gamma*cpuC) / denom
+	if tRand <= tSeq {
+		// A degenerate measurement (e.g. everything cached); random reads
+		// are never cheaper than sequential ones.
+		tRand = tSeq
+	}
+
+	// --- Assemble P(R) ---
+	sess, err := c.newMeasureSession(shares)
+	if err != nil {
+		return optimizer.Params{}, err
+	}
+	overlap := 1 - gamma
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
+	p := optimizer.Params{
+		SeqPageCost:             1,
+		RandomPageCost:          tRand / tSeq,
+		CPUTupleCost:            tTup / tSeq,
+		CPUIndexTupleCost:       tIdxTup / tSeq,
+		CPUOperatorCost:         tOp / tSeq,
+		EffectiveCacheSizePages: sess.Params.EffectiveCacheSizePages,
+		WorkMemBytes:            sess.Params.WorkMemBytes,
+		TimePerSeqPage:          tSeq,
+		Overlap:                 overlap,
+	}
+	if err := p.Validate(); err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: %w", err)
+	}
+	return p, nil
+}

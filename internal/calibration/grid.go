@@ -1,0 +1,131 @@
+package calibration
+
+import (
+	"fmt"
+	"sort"
+
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/vm"
+)
+
+// Grid holds calibrated parameters on a lattice of resource allocations
+// and interpolates between them. Grid calibration plus interpolation is
+// the paper's proposed way to keep the number of calibration experiments
+// manageable (Section 7): calibrate a coarse lattice offline, answer any
+// allocation online.
+type Grid struct {
+	cpus, mems, ios []float64
+	points          map[[3]int]optimizer.Params
+}
+
+// CalibrateGrid measures every lattice point (the cross product of the
+// three axes) and returns the grid. Axis values must be valid shares.
+func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
+	for _, axis := range [][]float64{cpus, mems, ios} {
+		if len(axis) == 0 {
+			return nil, fmt.Errorf("calibration: empty grid axis")
+		}
+		if !sort.Float64sAreSorted(axis) {
+			return nil, fmt.Errorf("calibration: grid axis must be sorted")
+		}
+	}
+	g := &Grid{
+		cpus:   append([]float64(nil), cpus...),
+		mems:   append([]float64(nil), mems...),
+		ios:    append([]float64(nil), ios...),
+		points: make(map[[3]int]optimizer.Params),
+	}
+	for ic, cpu := range cpus {
+		for im, mem := range mems {
+			for ii, io := range ios {
+				p, err := c.Calibrate(vm.Shares{CPU: cpu, Memory: mem, IO: io})
+				if err != nil {
+					return nil, fmt.Errorf("calibration: grid point (%g,%g,%g): %w", cpu, mem, io, err)
+				}
+				g.points[[3]int{ic, im, ii}] = p
+			}
+		}
+	}
+	return g, nil
+}
+
+// Lookup returns the parameters at an exact lattice point.
+func (g *Grid) Lookup(shares vm.Shares) (optimizer.Params, bool) {
+	ic, okC := indexOf(g.cpus, shares.CPU)
+	im, okM := indexOf(g.mems, shares.Memory)
+	ii, okI := indexOf(g.ios, shares.IO)
+	if !okC || !okM || !okI {
+		return optimizer.Params{}, false
+	}
+	p, ok := g.points[[3]int{ic, im, ii}]
+	return p, ok
+}
+
+func indexOf(axis []float64, v float64) (int, bool) {
+	for i, a := range axis {
+		if approxEq(a, v) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+// Interpolate returns parameters for an arbitrary allocation by trilinear
+// interpolation over the lattice (clamped to the lattice's bounding box).
+func (g *Grid) Interpolate(shares vm.Shares) optimizer.Params {
+	c0, c1, cf := bracket(g.cpus, shares.CPU)
+	m0, m1, mf := bracket(g.mems, shares.Memory)
+	i0, i1, fi := bracket(g.ios, shares.IO)
+
+	get := func(ic, im, ii int) optimizer.Params { return g.points[[3]int{ic, im, ii}] }
+	// Interpolate along I/O, then memory, then CPU.
+	lerpIO := func(ic, im int) optimizer.Params {
+		return lerpParams(get(ic, im, i0), get(ic, im, i1), fi)
+	}
+	lerpMem := func(ic int) optimizer.Params {
+		return lerpParams(lerpIO(ic, m0), lerpIO(ic, m1), mf)
+	}
+	return lerpParams(lerpMem(c0), lerpMem(c1), cf)
+}
+
+// bracket finds the axis cell containing v and the interpolation fraction.
+func bracket(axis []float64, v float64) (lo, hi int, frac float64) {
+	if v <= axis[0] {
+		return 0, 0, 0
+	}
+	last := len(axis) - 1
+	if v >= axis[last] {
+		return last, last, 0
+	}
+	for i := 0; i < last; i++ {
+		if v >= axis[i] && v <= axis[i+1] {
+			span := axis[i+1] - axis[i]
+			if span <= 0 {
+				return i, i, 0
+			}
+			return i, i + 1, (v - axis[i]) / span
+		}
+	}
+	return last, last, 0
+}
+
+// lerpParams interpolates every continuous parameter field; integer-like
+// fields (cache pages, work_mem) interpolate linearly and round.
+func lerpParams(a, b optimizer.Params, f float64) optimizer.Params {
+	l := func(x, y float64) float64 { return x + (y-x)*f }
+	return optimizer.Params{
+		SeqPageCost:             l(a.SeqPageCost, b.SeqPageCost),
+		RandomPageCost:          l(a.RandomPageCost, b.RandomPageCost),
+		CPUTupleCost:            l(a.CPUTupleCost, b.CPUTupleCost),
+		CPUIndexTupleCost:       l(a.CPUIndexTupleCost, b.CPUIndexTupleCost),
+		CPUOperatorCost:         l(a.CPUOperatorCost, b.CPUOperatorCost),
+		EffectiveCacheSizePages: int64(l(float64(a.EffectiveCacheSizePages), float64(b.EffectiveCacheSizePages)) + 0.5),
+		WorkMemBytes:            int64(l(float64(a.WorkMemBytes), float64(b.WorkMemBytes)) + 0.5),
+		TimePerSeqPage:          l(a.TimePerSeqPage, b.TimePerSeqPage),
+	}
+}

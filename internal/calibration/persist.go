@@ -1,0 +1,79 @@
+package calibration
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dbvirt/internal/optimizer"
+)
+
+// The paper's calibration is expensive and meant to be run once, offline,
+// per physical machine ("we can obtain P for different R's off-line, and
+// then use the different P values for all virtualization design
+// problems"). Grid persistence makes that concrete: CalibrateGrid once,
+// SaveJSON the lattice, and LoadGrid it in every later tuning session —
+// no database or workload knowledge is embedded, exactly as §4 observes.
+
+// gridJSON is the serialized form of a Grid.
+type gridJSON struct {
+	Version int             `json:"version"`
+	CPUs    []float64       `json:"cpus"`
+	Mems    []float64       `json:"mems"`
+	IOs     []float64       `json:"ios"`
+	Points  []gridPointJSON `json:"points"`
+}
+
+type gridPointJSON struct {
+	CPU    int              `json:"cpu_idx"`
+	Mem    int              `json:"mem_idx"`
+	IO     int              `json:"io_idx"`
+	Params optimizer.Params `json:"params"`
+}
+
+// SaveJSON writes the grid as JSON.
+func (g *Grid) SaveJSON(w io.Writer) error {
+	out := gridJSON{Version: 1, CPUs: g.cpus, Mems: g.mems, IOs: g.ios}
+	for key, p := range g.points {
+		out.Points = append(out.Points, gridPointJSON{CPU: key[0], Mem: key[1], IO: key[2], Params: p})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadGrid reads a grid saved by SaveJSON.
+func LoadGrid(r io.Reader) (*Grid, error) {
+	var in gridJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("calibration: decoding grid: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, fmt.Errorf("calibration: unsupported grid version %d", in.Version)
+	}
+	if len(in.CPUs) == 0 || len(in.Mems) == 0 || len(in.IOs) == 0 {
+		return nil, fmt.Errorf("calibration: grid has empty axes")
+	}
+	g := &Grid{
+		cpus:   in.CPUs,
+		mems:   in.Mems,
+		ios:    in.IOs,
+		points: make(map[[3]int]optimizer.Params, len(in.Points)),
+	}
+	want := len(in.CPUs) * len(in.Mems) * len(in.IOs)
+	for _, pt := range in.Points {
+		if pt.CPU < 0 || pt.CPU >= len(in.CPUs) ||
+			pt.Mem < 0 || pt.Mem >= len(in.Mems) ||
+			pt.IO < 0 || pt.IO >= len(in.IOs) {
+			return nil, fmt.Errorf("calibration: grid point index out of range")
+		}
+		if err := pt.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("calibration: invalid grid point: %w", err)
+		}
+		g.points[[3]int{pt.CPU, pt.Mem, pt.IO}] = pt.Params
+	}
+	if len(g.points) != want {
+		return nil, fmt.Errorf("calibration: grid has %d of %d lattice points", len(g.points), want)
+	}
+	return g, nil
+}

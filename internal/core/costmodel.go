@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dbvirt/internal/calibration"
+	"dbvirt/internal/engine"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+	"dbvirt/internal/vm"
+)
+
+// WhatIfModel is the paper's cost model: for a candidate allocation R it
+// obtains the calibrated optimizer parameters P(R) — directly from the
+// calibrator, or by interpolating a pre-computed grid — and sums the
+// optimizer's estimated execution times of the workload's queries planned
+// under P(R). Nothing is executed.
+type WhatIfModel struct {
+	// Cal calibrates on demand; used when Grid is nil or misses.
+	Cal *calibration.Calibrator
+	// Grid, if set, answers allocations by trilinear interpolation,
+	// avoiding new calibration experiments (the paper's §7 refinement).
+	Grid *calibration.Grid
+}
+
+// Name implements CostModel.
+func (m *WhatIfModel) Name() string {
+	if m.Grid != nil {
+		return "whatif-grid"
+	}
+	return "whatif"
+}
+
+// params obtains P(R).
+func (m *WhatIfModel) params(shares vm.Shares) (optimizer.Params, error) {
+	if m.Grid != nil {
+		if p, ok := m.Grid.Lookup(shares); ok {
+			return p, nil
+		}
+		return m.Grid.Interpolate(shares), nil
+	}
+	if m.Cal == nil {
+		return optimizer.Params{}, fmt.Errorf("core: WhatIfModel has neither grid nor calibrator")
+	}
+	return m.Cal.Calibrate(shares)
+}
+
+// Cost implements CostModel.
+func (m *WhatIfModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	p, err := m.params(shares)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, stmt := range w.Statements {
+		est, err := estimateStatement(w.DB, stmt, p)
+		if err != nil {
+			return 0, fmt.Errorf("core: workload %s: %w", w.Name, err)
+		}
+		total += est
+	}
+	return total, nil
+}
+
+// estimateStatement plans one SELECT under P and returns its estimated
+// seconds. Non-SELECT statements are rejected: design-time workloads are
+// query workloads, as in the paper.
+func estimateStatement(db *engine.Database, stmt string, p optimizer.Params) (float64, error) {
+	if !strings.HasPrefix(strings.TrimSpace(strings.ToUpper(stmt)), "SELECT") {
+		return 0, fmt.Errorf("only SELECT statements can be cost-estimated, got %q", firstWords(stmt))
+	}
+	sel, err := sql.ParseSelect(stmt)
+	if err != nil {
+		return 0, err
+	}
+	q, err := plan.Bind(sel, db.Catalog)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := optimizer.Optimize(q, p)
+	if err != nil {
+		return 0, err
+	}
+	return pl.EstimatedSeconds(), nil
+}
+
+func firstWords(s string) string {
+	f := strings.Fields(s)
+	if len(f) > 3 {
+		f = f[:3]
+	}
+	return strings.Join(f, " ")
+}
+
+// MeasuredModel is the oracle cost model: it actually runs the workload
+// in a freshly provisioned VM at the candidate allocation and reports the
+// simulated elapsed time. It is far more expensive than the what-if model
+// and exists to validate it (and as the measurement harness for the
+// paper's "actual" bars).
+type MeasuredModel struct {
+	Machine vm.MachineConfig
+	Engine  engine.Config
+	// Warmup runs the workload once before measuring, as the paper does
+	// by including multiple query copies.
+	Warmup bool
+}
+
+// Name implements CostModel.
+func (m *MeasuredModel) Name() string { return "measured" }
+
+// Cost implements CostModel.
+func (m *MeasuredModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	machine, err := vm.NewMachine(m.Machine)
+	if err != nil {
+		return 0, err
+	}
+	v, err := machine.NewVM(w.Name, shares)
+	if err != nil {
+		return 0, err
+	}
+	sess, err := engine.NewSession(w.DB, v, m.Engine)
+	if err != nil {
+		return 0, err
+	}
+	if m.Warmup {
+		if _, err := sess.RunWorkload(w.Statements); err != nil {
+			return 0, err
+		}
+	}
+	return sess.RunWorkload(w.Statements)
+}
+
+// ProfiledModel is a simple baseline: it profiles the workload once at a
+// reference allocation, recording its CPU and I/O seconds, and predicts
+// other allocations by rescaling each component by the ratio of effective
+// resource rates. It captures first-order sensitivity but is blind to
+// plan changes, caching effects, and spills — the things the optimizer's
+// what-if mode models.
+type ProfiledModel struct {
+	Machine   vm.MachineConfig
+	Engine    engine.Config
+	Reference vm.Shares
+
+	profiles map[*WorkloadSpec]vm.Usage
+}
+
+// Name implements CostModel.
+func (m *ProfiledModel) Name() string { return "profiled" }
+
+// profile measures the workload once at the reference allocation.
+func (m *ProfiledModel) profile(w *WorkloadSpec) (vm.Usage, error) {
+	if m.profiles == nil {
+		m.profiles = make(map[*WorkloadSpec]vm.Usage)
+	}
+	if u, ok := m.profiles[w]; ok {
+		return u, nil
+	}
+	machine, err := vm.NewMachine(m.Machine)
+	if err != nil {
+		return vm.Usage{}, err
+	}
+	v, err := machine.NewVM(w.Name, m.Reference)
+	if err != nil {
+		return vm.Usage{}, err
+	}
+	sess, err := engine.NewSession(w.DB, v, m.Engine)
+	if err != nil {
+		return vm.Usage{}, err
+	}
+	// Warm then measure, matching the measured model's protocol.
+	if _, err := sess.RunWorkload(w.Statements); err != nil {
+		return vm.Usage{}, err
+	}
+	start := v.Snapshot()
+	if _, err := sess.RunWorkload(w.Statements); err != nil {
+		return vm.Usage{}, err
+	}
+	u := v.Since(start)
+	m.profiles[w] = u
+	return u, nil
+}
+
+// Cost implements CostModel.
+func (m *ProfiledModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	u, err := m.profile(w)
+	if err != nil {
+		return 0, err
+	}
+	// Rescale CPU and I/O seconds by effective-rate ratios, then blend
+	// with the machine's overlap model.
+	refCPU := effCPURate(m.Machine, m.Reference.CPU)
+	newCPU := effCPURate(m.Machine, shares.CPU)
+	cpuSec := u.CPUSeconds * refCPU / newCPU
+	ioSec := u.IOSeconds * m.Reference.IO / shares.IO
+	lo := cpuSec
+	if ioSec < lo {
+		lo = ioSec
+	}
+	return cpuSec + ioSec - m.Machine.Overlap*lo, nil
+}
+
+func effCPURate(cfg vm.MachineConfig, share float64) float64 {
+	return cfg.CPUOpsPerSec * share * (1 - cfg.SchedOverhead*(1-share))
+}

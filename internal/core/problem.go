@@ -1,0 +1,249 @@
+// Package core implements the paper's primary contribution: the
+// virtualization design problem. Given N database workloads that will run
+// in N virtual machines on one physical machine, choose the resource-share
+// matrix R (a column of CPU/memory/I-O shares per workload, each resource
+// summing to 1) that minimizes the total predicted cost
+//
+//	Σ_i Cost(W_i, R_i)
+//
+// subject to r_ij ≥ 0 and Σ_i r_ij = 1 for every resource j.
+//
+// The package provides the problem formulation, three cost models (the
+// paper's calibrated what-if optimizer model, a measured oracle, and a
+// profile-scaling baseline), and three search algorithms over the
+// discretized share simplex (exhaustive, dynamic programming, greedy),
+// plus the paper's Section 7 extensions: weighted/SLO objectives and an
+// online reconfiguration controller.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dbvirt/internal/engine"
+	"dbvirt/internal/vm"
+)
+
+// WorkloadSpec is one workload W_i: a sequence of SQL statements against
+// its own database, plus objective parameters.
+type WorkloadSpec struct {
+	Name       string
+	Statements []string
+	// DB is the workload's database (loaded and analyzed).
+	DB *engine.Database
+	// Weight scales this workload's cost in the objective (default 1).
+	Weight float64
+	// SLOSeconds, if positive, is a latency target; cost above it incurs
+	// the problem's SLO penalty (a Section 7 extension).
+	SLOSeconds float64
+}
+
+func (w *WorkloadSpec) weight() float64 {
+	if w.Weight <= 0 {
+		return 1
+	}
+	return w.Weight
+}
+
+// Allocation assigns resource shares to each workload: the columns R_i of
+// the paper's matrix R.
+type Allocation []vm.Shares
+
+// Clone deep-copies the allocation.
+func (a Allocation) Clone() Allocation { return append(Allocation(nil), a...) }
+
+// String formats the allocation.
+func (a Allocation) String() string {
+	s := ""
+	for i, sh := range a {
+		if i > 0 {
+			s += "; "
+		}
+		s += fmt.Sprintf("W%d{%v}", i+1, sh)
+	}
+	return s
+}
+
+// EqualAllocation splits every resource evenly — the default the paper
+// argues can be far from optimal.
+func EqualAllocation(n int) Allocation {
+	a := make(Allocation, n)
+	for i := range a {
+		a[i] = vm.Equal(n)
+	}
+	return a
+}
+
+// Objective configures the optimization target.
+type Objective struct {
+	// SLOPenalty multiplies each workload's cost overshoot beyond its
+	// SLOSeconds. Zero disables SLO handling.
+	SLOPenalty float64
+}
+
+// Problem is one virtualization design problem instance.
+type Problem struct {
+	Workloads []*WorkloadSpec
+	// Resources lists the dimensions being optimized; the others are
+	// split equally. The paper's illustrative experiment optimizes CPU
+	// with memory fixed at 50/50.
+	Resources []vm.Resource
+	// Step is the share quantum of the search grid (e.g. 0.25 or 0.05).
+	Step float64
+	// MinShare is the smallest share any workload may receive of a
+	// searched resource; defaults to Step.
+	MinShare  float64
+	Objective Objective
+}
+
+// Validate checks the problem is well-formed.
+func (p *Problem) Validate() error {
+	n := len(p.Workloads)
+	if n < 2 {
+		return fmt.Errorf("core: need at least 2 workloads, got %d", n)
+	}
+	for i, w := range p.Workloads {
+		if w.DB == nil {
+			return fmt.Errorf("core: workload %d (%s) has no database", i, w.Name)
+		}
+		if len(w.Statements) == 0 {
+			return fmt.Errorf("core: workload %d (%s) has no statements", i, w.Name)
+		}
+	}
+	if len(p.Resources) == 0 {
+		return fmt.Errorf("core: no resources to optimize")
+	}
+	seen := map[vm.Resource]bool{}
+	for _, r := range p.Resources {
+		if r < 0 || r >= vm.NumResources {
+			return fmt.Errorf("core: unknown resource %v", r)
+		}
+		if seen[r] {
+			return fmt.Errorf("core: duplicate resource %v", r)
+		}
+		seen[r] = true
+	}
+	if p.Step <= 0 || p.Step > 0.5 {
+		return fmt.Errorf("core: step %g out of range (0, 0.5]", p.Step)
+	}
+	units := 1 / p.Step
+	if math.Abs(units-math.Round(units)) > 1e-9 {
+		return fmt.Errorf("core: step %g must divide 1 evenly", p.Step)
+	}
+	min := p.minShare()
+	if min*float64(n) > 1+1e-9 {
+		return fmt.Errorf("core: minimum share %g infeasible for %d workloads", min, n)
+	}
+	return nil
+}
+
+func (p *Problem) minShare() float64 {
+	if p.MinShare > 0 {
+		return p.MinShare
+	}
+	return p.Step
+}
+
+// units returns the number of grid quanta per resource.
+func (p *Problem) units() int { return int(math.Round(1 / p.Step)) }
+
+// minUnits returns the per-workload floor in quanta.
+func (p *Problem) minUnits() int {
+	u := int(math.Ceil(p.minShare()/p.Step - 1e-9))
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// searched reports whether resource r is being optimized.
+func (p *Problem) searched(r vm.Resource) bool {
+	for _, pr := range p.Resources {
+		if pr == r {
+			return true
+		}
+	}
+	return false
+}
+
+// fixedShare is the share of non-searched resources (equal split).
+func (p *Problem) fixedShare() float64 { return 1 / float64(len(p.Workloads)) }
+
+// objectiveTerm computes one workload's contribution to the objective.
+func (p *Problem) objectiveTerm(w *WorkloadSpec, cost float64) float64 {
+	obj := w.weight() * cost
+	if w.SLOSeconds > 0 && p.Objective.SLOPenalty > 0 && cost > w.SLOSeconds {
+		obj += p.Objective.SLOPenalty * w.weight() * (cost - w.SLOSeconds)
+	}
+	return obj
+}
+
+// CostModel predicts the cost (seconds) of running a workload under a
+// resource allocation — the paper's Cost(W_i, R_i).
+type CostModel interface {
+	// Cost returns the predicted execution time in seconds.
+	Cost(w *WorkloadSpec, shares vm.Shares) (float64, error)
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Result is a solved virtualization design.
+type Result struct {
+	Algorithm      string
+	Allocation     Allocation
+	PredictedCosts []float64 // per workload, model units (seconds)
+	PredictedTotal float64   // objective value
+	Evaluations    int       // cost-model invocations (cache misses)
+}
+
+// String summarizes the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s: %s (predicted %.3fs, %d evals)",
+		r.Algorithm, r.Allocation, r.PredictedTotal, r.Evaluations)
+}
+
+// evaluate computes the objective of an allocation, using a memoizing
+// wrapper around the cost model.
+func (p *Problem) evaluate(m *memoModel, alloc Allocation) (total float64, costs []float64, err error) {
+	costs = make([]float64, len(p.Workloads))
+	for i, w := range p.Workloads {
+		c, err := m.Cost(w, alloc[i])
+		if err != nil {
+			return 0, nil, err
+		}
+		costs[i] = c
+		total += p.objectiveTerm(w, c)
+	}
+	return total, costs, nil
+}
+
+// memoModel caches cost-model calls per (workload, quantized shares).
+type memoModel struct {
+	inner CostModel
+	cache map[memoKey]float64
+	evals int
+}
+
+type memoKey struct {
+	w   *WorkloadSpec
+	key [3]int64
+}
+
+func newMemoModel(inner CostModel) *memoModel {
+	return &memoModel{inner: inner, cache: make(map[memoKey]float64)}
+}
+
+func (m *memoModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	q := func(f float64) int64 { return int64(math.Round(f * 1e9)) }
+	k := memoKey{w: w, key: [3]int64{q(shares.CPU), q(shares.Memory), q(shares.IO)}}
+	if c, ok := m.cache[k]; ok {
+		return c, nil
+	}
+	c, err := m.inner.Cost(w, shares)
+	if err != nil {
+		return 0, err
+	}
+	m.cache[k] = c
+	m.evals++
+	return c, nil
+}

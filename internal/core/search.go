@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dbvirt/internal/vm"
+)
+
+// sharesFor builds one workload's Shares from per-searched-resource unit
+// counts; non-searched resources get the equal split.
+func (p *Problem) sharesFor(units map[vm.Resource]int) vm.Shares {
+	s := vm.Shares{CPU: p.fixedShare(), Memory: p.fixedShare(), IO: p.fixedShare()}
+	for r, u := range units {
+		s = s.With(r, float64(u)*p.Step)
+	}
+	return s
+}
+
+// allocationFromUnits converts a per-resource unit matrix (resource →
+// per-workload units) into an Allocation.
+func (p *Problem) allocationFromUnits(unitsByRes map[vm.Resource][]int) Allocation {
+	n := len(p.Workloads)
+	alloc := make(Allocation, n)
+	for i := 0; i < n; i++ {
+		perWorkload := make(map[vm.Resource]int, len(p.Resources))
+		for _, r := range p.Resources {
+			perWorkload[r] = unitsByRes[r][i]
+		}
+		alloc[i] = p.sharesFor(perWorkload)
+	}
+	return alloc
+}
+
+// compositions enumerates all ways to split `total` units among n
+// workloads with at least min units each.
+func compositions(n, total, min int) [][]int {
+	var out [][]int
+	cur := make([]int, n)
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == n-1 {
+			if remaining >= min {
+				cur[i] = remaining
+				out = append(out, append([]int(nil), cur...))
+			}
+			return
+		}
+		maxHere := remaining - min*(n-1-i)
+		for u := min; u <= maxHere; u++ {
+			cur[i] = u
+			rec(i+1, remaining-u)
+		}
+	}
+	if total >= min*n {
+		rec(0, total)
+	}
+	return out
+}
+
+// SolveExhaustive enumerates every grid allocation and returns the best.
+// The search space is the cross product of per-resource compositions, so
+// it is only feasible for small N and coarse steps; it exists as the
+// ground truth for the other algorithms.
+func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	memo := newMemoModel(model)
+	n := len(p.Workloads)
+	perRes := make([][][]int, len(p.Resources))
+	for ri := range p.Resources {
+		perRes[ri] = compositions(n, p.units(), p.minUnits())
+		if len(perRes[ri]) == 0 {
+			return nil, fmt.Errorf("core: no feasible allocation at step %g", p.Step)
+		}
+	}
+
+	var best *Result
+	choice := make(map[vm.Resource][]int, len(p.Resources))
+	var rec func(ri int) error
+	rec = func(ri int) error {
+		if ri == len(p.Resources) {
+			alloc := p.allocationFromUnits(choice)
+			total, costs, err := p.evaluate(memo, alloc)
+			if err != nil {
+				return err
+			}
+			if best == nil || total < best.PredictedTotal {
+				best = &Result{
+					Algorithm:      "exhaustive",
+					Allocation:     alloc,
+					PredictedCosts: costs,
+					PredictedTotal: total,
+				}
+			}
+			return nil
+		}
+		for _, comp := range perRes[ri] {
+			choice[p.Resources[ri]] = comp
+			if err := rec(ri + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	best.Evaluations = memo.evals
+	return best, nil
+}
+
+// SolveDP solves the problem exactly by dynamic programming over
+// workloads, with the remaining units of each searched resource as state.
+// The objective is separable across workloads (each workload's cost
+// depends only on its own shares), which is exactly the structure the
+// paper suggests exploiting with standard DP.
+func SolveDP(p *Problem, model CostModel) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	memo := newMemoModel(model)
+	n := len(p.Workloads)
+	nr := len(p.Resources)
+	min := p.minUnits()
+
+	type state struct {
+		i   int
+		rem [vm.NumResources]int
+	}
+	type entry struct {
+		cost   float64
+		choice [vm.NumResources]int
+	}
+	table := make(map[state]entry)
+
+	var solve func(st state) (entry, error)
+	solve = func(st state) (entry, error) {
+		if e, ok := table[st]; ok {
+			return e, nil
+		}
+		// Enumerate this workload's unit vector.
+		w := p.Workloads[st.i]
+		last := st.i == n-1
+		bestE := entry{cost: math.Inf(1)}
+		units := make([]int, nr)
+		var rec func(ri int) error
+		rec = func(ri int) error {
+			if ri == nr {
+				perWorkload := make(map[vm.Resource]int, nr)
+				for k, r := range p.Resources {
+					perWorkload[r] = units[k]
+				}
+				c, err := memo.Cost(w, p.sharesFor(perWorkload))
+				if err != nil {
+					return err
+				}
+				total := p.objectiveTerm(w, c)
+				if !last {
+					next := state{i: st.i + 1}
+					for k, r := range p.Resources {
+						next.rem[r] = st.rem[r] - units[k]
+					}
+					sub, err := solve(next)
+					if err != nil {
+						return err
+					}
+					total += sub.cost
+				}
+				if total < bestE.cost {
+					bestE.cost = total
+					for k, r := range p.Resources {
+						bestE.choice[r] = units[k]
+					}
+				}
+				return nil
+			}
+			r := p.Resources[ri]
+			lo, hi := min, st.rem[r]-min*(n-1-st.i)
+			if last {
+				lo, hi = st.rem[r], st.rem[r] // the last workload takes the rest
+			}
+			for u := lo; u <= hi; u++ {
+				units[ri] = u
+				if err := rec(ri + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return entry{}, err
+		}
+		if math.IsInf(bestE.cost, 1) {
+			return entry{}, fmt.Errorf("core: no feasible allocation for workload %d", st.i)
+		}
+		table[st] = bestE
+		return bestE, nil
+	}
+
+	start := state{}
+	for _, r := range p.Resources {
+		start.rem[r] = p.units()
+	}
+	if _, err := solve(start); err != nil {
+		return nil, err
+	}
+
+	// Reconstruct the allocation by replaying the choices.
+	unitsByRes := make(map[vm.Resource][]int, nr)
+	for _, r := range p.Resources {
+		unitsByRes[r] = make([]int, n)
+	}
+	st := start
+	for i := 0; i < n; i++ {
+		st.i = i
+		e := table[st]
+		next := st
+		next.i = i + 1
+		for _, r := range p.Resources {
+			unitsByRes[r][i] = e.choice[r]
+			next.rem[r] = st.rem[r] - e.choice[r]
+		}
+		st = next
+	}
+	alloc := p.allocationFromUnits(unitsByRes)
+	total, costs, err := p.evaluate(memo, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:      "dp",
+		Allocation:     alloc,
+		PredictedCosts: costs,
+		PredictedTotal: total,
+		Evaluations:    memo.evals,
+	}, nil
+}
+
+// SolveGreedy starts from the equal allocation and repeatedly moves one
+// share quantum of one resource from a donor workload to a recipient,
+// taking the best improving move until none exists. A local search in the
+// spirit of the paper's "standard combinatorial search" suggestion: cheap,
+// and optimal in practice for well-behaved cost surfaces.
+func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	memo := newMemoModel(model)
+	n := len(p.Workloads)
+	min := p.minUnits()
+
+	// Equal start, snapped to the grid.
+	unitsByRes := make(map[vm.Resource][]int, len(p.Resources))
+	for _, r := range p.Resources {
+		base := p.units() / n
+		rem := p.units() - base*n
+		u := make([]int, n)
+		for i := range u {
+			u[i] = base
+			if i < rem {
+				u[i]++
+			}
+		}
+		unitsByRes[r] = u
+	}
+
+	alloc := p.allocationFromUnits(unitsByRes)
+	bestTotal, bestCosts, err := p.evaluate(memo, alloc)
+	if err != nil {
+		return nil, err
+	}
+
+	for {
+		type move struct {
+			r           vm.Resource
+			donor, recv int
+		}
+		var bestMove *move
+		bestMoveTotal := bestTotal
+		for _, r := range p.Resources {
+			u := unitsByRes[r]
+			for donor := 0; donor < n; donor++ {
+				if u[donor] <= min {
+					continue
+				}
+				for recv := 0; recv < n; recv++ {
+					if recv == donor {
+						continue
+					}
+					u[donor]--
+					u[recv]++
+					cand := p.allocationFromUnits(unitsByRes)
+					total, _, err := p.evaluate(memo, cand)
+					u[donor]++
+					u[recv]--
+					if err != nil {
+						return nil, err
+					}
+					if total < bestMoveTotal-1e-12 {
+						bestMoveTotal = total
+						bestMove = &move{r: r, donor: donor, recv: recv}
+					}
+				}
+			}
+		}
+		if bestMove == nil {
+			break
+		}
+		unitsByRes[bestMove.r][bestMove.donor]--
+		unitsByRes[bestMove.r][bestMove.recv]++
+		alloc = p.allocationFromUnits(unitsByRes)
+		bestTotal, bestCosts, err = p.evaluate(memo, alloc)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return &Result{
+		Algorithm:      "greedy",
+		Allocation:     alloc,
+		PredictedCosts: bestCosts,
+		PredictedTotal: bestTotal,
+		Evaluations:    memo.evals,
+	}, nil
+}
+
+// EvaluateAllocation scores an arbitrary allocation (e.g. the equal-shares
+// baseline) under a cost model, returning a Result for comparison.
+func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name string) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(alloc) != len(p.Workloads) {
+		return nil, fmt.Errorf("core: allocation has %d entries for %d workloads", len(alloc), len(p.Workloads))
+	}
+	memo := newMemoModel(model)
+	total, costs, err := p.evaluate(memo, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:      name,
+		Allocation:     alloc.Clone(),
+		PredictedCosts: costs,
+		PredictedTotal: total,
+		Evaluations:    memo.evals,
+	}, nil
+}

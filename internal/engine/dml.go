@@ -1,0 +1,209 @@
+package engine
+
+import (
+	"fmt"
+
+	"dbvirt/internal/catalog"
+	"dbvirt/internal/executor"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+	"dbvirt/internal/storage"
+	"dbvirt/internal/types"
+)
+
+// The engine supports scan-based DELETE and UPDATE: the table is scanned,
+// the WHERE predicate evaluated per row, and qualifying rows removed or
+// rewritten with full index maintenance. There is no MVCC or concurrency
+// control — a Database must not be written by two sessions at once — and
+// statistics go stale until the next ANALYZE, as in any real system.
+
+// bindTablePredicate binds a WHERE expression against a single table by
+// constructing the equivalent single-relation query.
+func (s *Session) bindTablePredicate(table string, where sql.Expr) (*catalog.Table, func(plan.Row) (bool, error), error) {
+	t, err := s.DB.Catalog.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	if where == nil {
+		return t, func(plan.Row) (bool, error) { return true, nil }, nil
+	}
+	sel := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  []sql.FromItem{&sql.TableRef{Table: table}},
+		Where: where,
+	}
+	q, err := plan.Bind(sel, s.DB.Catalog)
+	if err != nil {
+		return nil, nil, err
+	}
+	evs := make([]plan.Evaluator, len(q.Where))
+	for i, c := range q.Where {
+		evs[i], err = plan.Compile(c.E, plan.SingleRel(0), s.VM)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	pred := func(row plan.Row) (bool, error) {
+		for _, ev := range evs {
+			v, err := ev(row)
+			if err != nil {
+				return false, err
+			}
+			if !plan.Truthy(v) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return t, pred, nil
+}
+
+// execDelete removes all rows matching the predicate, maintaining every
+// index, and returns the number of rows deleted.
+func (s *Session) execDelete(del *sql.DeleteStmt) (int64, error) {
+	t, pred, err := s.bindTablePredicate(del.Table, del.Where)
+	if err != nil {
+		return 0, err
+	}
+	// Collect victims first: mutating the heap mid-scan is undefined.
+	type victim struct {
+		tid storage.TID
+		tup storage.Tuple
+	}
+	var victims []victim
+	err = t.Heap.Scan(s.Pool, func(tid storage.TID, tup storage.Tuple) error {
+		s.VM.AccountCPU(executor.OpsPerTuple)
+		ok, err := pred(plan.Row(tup))
+		if err != nil {
+			return err
+		}
+		if ok {
+			victims = append(victims, victim{tid: tid, tup: tup.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range victims {
+		if err := s.deleteRow(t, v.tid, v.tup); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(victims)), nil
+}
+
+// deleteRow removes one row and its index entries.
+func (s *Session) deleteRow(t *catalog.Table, tid storage.TID, tup storage.Tuple) error {
+	s.VM.AccountCPU(executor.OpsPerTuple)
+	if err := t.Heap.Delete(s.Pool, tid); err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		v := tup[ix.Col]
+		if v.IsNull() {
+			continue
+		}
+		s.VM.AccountCPU(executor.OpsPerIndexTuple)
+		ok, err := ix.Tree.Delete(s.Pool, v.I, tid)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("engine: index %q missing entry for %v (corrupt index)", ix.Name, tid)
+		}
+	}
+	return nil
+}
+
+// execUpdate rewrites all rows matching the predicate. The updated row is
+// deleted and re-inserted (possibly at a new TID), with index maintenance
+// on both sides.
+func (s *Session) execUpdate(upd *sql.UpdateStmt) (int64, error) {
+	t, pred, err := s.bindTablePredicate(upd.Table, upd.Where)
+	if err != nil {
+		return 0, err
+	}
+	// Bind SET expressions over the table's row.
+	type setter struct {
+		col  int
+		ev   plan.Evaluator
+		kind types.Kind
+	}
+	setters := make([]setter, 0, len(upd.Sets))
+	seen := map[int]bool{}
+	for _, sc := range upd.Sets {
+		ci := t.Schema.ColIndex(sc.Column)
+		if ci < 0 {
+			return 0, fmt.Errorf("engine: table %q has no column %q", upd.Table, sc.Column)
+		}
+		if seen[ci] {
+			return 0, fmt.Errorf("engine: column %q assigned twice", sc.Column)
+		}
+		seen[ci] = true
+		bound, err := s.bindScalarOnTable(upd.Table, sc.Value)
+		if err != nil {
+			return 0, err
+		}
+		kind := t.Schema.Cols[ci].Kind
+		if bk := bound.ResultKind(); bk != types.KindNull && !types.Compatible(bk, kind) {
+			return 0, fmt.Errorf("engine: cannot assign %s to %s column %q", bk, kind, sc.Column)
+		}
+		ev, err := plan.Compile(bound, plan.SingleRel(0), s.VM)
+		if err != nil {
+			return 0, err
+		}
+		setters = append(setters, setter{col: ci, ev: ev, kind: kind})
+	}
+
+	type victim struct {
+		tid storage.TID
+		tup storage.Tuple
+	}
+	var victims []victim
+	err = t.Heap.Scan(s.Pool, func(tid storage.TID, tup storage.Tuple) error {
+		s.VM.AccountCPU(executor.OpsPerTuple)
+		ok, err := pred(plan.Row(tup))
+		if err != nil {
+			return err
+		}
+		if ok {
+			victims = append(victims, victim{tid: tid, tup: tup.Clone()})
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+
+	for _, v := range victims {
+		newTup := v.tup.Clone()
+		for _, st := range setters {
+			val, err := st.ev(plan.Row(v.tup))
+			if err != nil {
+				return 0, err
+			}
+			newTup[st.col] = coerce(val, st.kind)
+		}
+		if err := s.deleteRow(t, v.tid, v.tup); err != nil {
+			return 0, err
+		}
+		if err := s.InsertTuple(t, newTup); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(victims)), nil
+}
+
+// bindScalarOnTable binds a scalar expression in the scope of one table.
+func (s *Session) bindScalarOnTable(table string, e sql.Expr) (plan.Expr, error) {
+	sel := &sql.SelectStmt{
+		Items: []sql.SelectItem{{Expr: e}},
+		From:  []sql.FromItem{&sql.TableRef{Table: table}},
+	}
+	q, err := plan.Bind(sel, s.DB.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	return q.Select[0].E, nil
+}

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func setupDML(t *testing.T) *Session {
+	t.Helper()
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE items (id INT, qty INT, name TEXT)")
+	var vals []string
+	for i := 1; i <= 100; i++ {
+		vals = append(vals, fmt.Sprintf("(%d, %d, 'item%d')", i, i%10, i))
+	}
+	mustExec(t, s, "INSERT INTO items VALUES "+strings.Join(vals, ", "))
+	mustExec(t, s, "CREATE INDEX items_id ON items (id)")
+	mustExec(t, s, "ANALYZE items")
+	return s
+}
+
+func TestDeleteWithPredicate(t *testing.T) {
+	s := setupDML(t)
+	n, err := s.Exec("DELETE FROM items WHERE qty = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10 {
+		t.Errorf("deleted %d rows, want 10", n)
+	}
+	rows := query(t, s, "SELECT count(*) FROM items")
+	if rows[0][0].I != 90 {
+		t.Errorf("remaining = %v", rows[0][0])
+	}
+	if got := query(t, s, "SELECT count(*) FROM items WHERE qty = 3"); got[0][0].I != 0 {
+		t.Error("deleted rows still visible")
+	}
+	// Index entries gone too: point lookups of deleted ids return nothing.
+	if got := query(t, s, "SELECT id FROM items WHERE id = 3"); len(got) != 0 {
+		t.Errorf("deleted id still indexed: %v", got)
+	}
+	// Surviving rows still indexed.
+	if got := query(t, s, "SELECT id FROM items WHERE id = 4"); len(got) != 1 {
+		t.Errorf("surviving id lost: %v", got)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	s := setupDML(t)
+	n, err := s.Exec("DELETE FROM items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("deleted %d, want 100", n)
+	}
+	if got := query(t, s, "SELECT count(*) FROM items"); got[0][0].I != 0 {
+		t.Error("table should be empty")
+	}
+}
+
+func TestUpdateWithPredicate(t *testing.T) {
+	s := setupDML(t)
+	n, err := s.Exec("UPDATE items SET qty = qty + 100, name = 'bumped' WHERE id <= 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("updated %d rows, want 5", n)
+	}
+	rows := query(t, s, "SELECT id, qty, name FROM items WHERE id <= 5 ORDER BY id")
+	for i, r := range rows {
+		wantQty := int64(i+1)%10 + 100
+		if r[1].I != wantQty || r[2].S != "bumped" {
+			t.Errorf("row %v: qty=%v name=%v, want %d/bumped", r[0], r[1], r[2], wantQty)
+		}
+	}
+	// Unmatched rows untouched.
+	rows = query(t, s, "SELECT name FROM items WHERE id = 50")
+	if rows[0][0].S != "item50" {
+		t.Errorf("unmatched row modified: %v", rows[0])
+	}
+	// Count preserved.
+	if got := query(t, s, "SELECT count(*) FROM items"); got[0][0].I != 100 {
+		t.Errorf("row count changed: %v", got[0][0])
+	}
+}
+
+func TestUpdateIndexedColumn(t *testing.T) {
+	s := setupDML(t)
+	if _, err := s.Exec("UPDATE items SET id = 1000 WHERE id = 7"); err != nil {
+		t.Fatal(err)
+	}
+	if got := query(t, s, "SELECT qty FROM items WHERE id = 7"); len(got) != 0 {
+		t.Error("old key still indexed")
+	}
+	got := query(t, s, "SELECT qty, name FROM items WHERE id = 1000")
+	if len(got) != 1 || got[0][1].S != "item7" {
+		t.Errorf("new key lookup = %v", got)
+	}
+}
+
+func TestUpdateToNull(t *testing.T) {
+	s := setupDML(t)
+	if _, err := s.Exec("UPDATE items SET name = NULL WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	got := query(t, s, "SELECT name FROM items WHERE id = 1")
+	if len(got) != 1 || !got[0][0].IsNull() {
+		t.Errorf("NULL assignment failed: %v", got)
+	}
+}
+
+func TestDMLErrors(t *testing.T) {
+	s := setupDML(t)
+	cases := []string{
+		"DELETE FROM missing",
+		"UPDATE missing SET a = 1",
+		"UPDATE items SET nope = 1",
+		"UPDATE items SET qty = 'text'",
+		"UPDATE items SET qty = 1, qty = 2",
+		"DELETE FROM items WHERE nope = 1",
+		"UPDATE items SET qty = 1 WHERE qty",
+	}
+	for _, q := range cases {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestDMLConsumesSimulatedResources(t *testing.T) {
+	s := setupDML(t)
+	start := s.VM.Snapshot()
+	if _, err := s.Exec("UPDATE items SET qty = 0 WHERE qty > 5"); err != nil {
+		t.Fatal(err)
+	}
+	if used := s.VM.Since(start); used.CPUOps <= 0 {
+		t.Error("DML should consume simulated CPU")
+	}
+}
+
+func TestDeleteThenReinsertAndScan(t *testing.T) {
+	s := setupDML(t)
+	mustExec(t, s, "DELETE FROM items WHERE id BETWEEN 10 AND 20")
+	mustExec(t, s, "INSERT INTO items VALUES (10, 99, 'back')")
+	rows := query(t, s, "SELECT qty FROM items WHERE id = 10")
+	if len(rows) != 1 || rows[0][0].I != 99 {
+		t.Errorf("reinsert lookup = %v", rows)
+	}
+	if got := query(t, s, "SELECT count(*) FROM items"); got[0][0].I != 90 {
+		t.Errorf("count = %v, want 90", got[0][0])
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	s := setupDML(t)
+	out, err := s.ExplainAnalyze("SELECT qty, count(*) FROM items WHERE id <= 50 GROUP BY qty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"actual rows=", "HashAggregate", "simulated", "seq"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain analyze missing %q:\n%s", want, out)
+		}
+	}
+	// The scan's actual row count (50 of 100) must appear.
+	if !strings.Contains(out, "actual rows=50") {
+		t.Errorf("expected actual rows=50 somewhere:\n%s", out)
+	}
+}
+
+func TestExplainAnalyzeLimitShortCircuits(t *testing.T) {
+	s := setupDML(t)
+	out, err := s.ExplainAnalyze("SELECT id FROM items LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "actual: 3 rows") {
+		t.Errorf("limit output:\n%s", out)
+	}
+}

@@ -1,0 +1,402 @@
+// Package engine is the database engine facade: it wires the catalog,
+// buffer pool, optimizer, and executor together behind a SQL interface.
+//
+// A Database (disk + catalog) is independent of any virtual machine and
+// can be shared; a Session binds a database to one VM, sizing its buffer
+// pool and working memory from the VM's memory share. This split is what
+// lets the virtualization-design experiments measure the same data under
+// many different resource allocations without reloading it.
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"dbvirt/internal/buffer"
+	"dbvirt/internal/catalog"
+	"dbvirt/internal/executor"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+	"dbvirt/internal/storage"
+	"dbvirt/internal/types"
+	"dbvirt/internal/vm"
+)
+
+// Database is the VM-independent part of an engine instance: the simulated
+// disk and the catalog describing what is on it.
+type Database struct {
+	Disk    *storage.DiskManager
+	Catalog *catalog.Catalog
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{Disk: storage.NewDiskManager(), Catalog: catalog.New()}
+}
+
+// Config tunes how a session divides its VM's memory.
+type Config struct {
+	// BufferFrac is the fraction of VM memory given to the buffer pool.
+	BufferFrac float64
+	// WorkMemFrac is the fraction of VM memory given to each sort/hash
+	// operation (work_mem).
+	WorkMemFrac float64
+}
+
+// DefaultConfig mirrors a conventional analytics-tuned DBMS split: 75%
+// buffer pool, 15% work_mem. The machine model is memory-scaled together
+// with the data, so work_mem must scale too (the paper's testbed would
+// run PostgreSQL with a work_mem far above its default for TPC-H).
+func DefaultConfig() Config {
+	return Config{BufferFrac: 0.75, WorkMemFrac: 0.15}
+}
+
+// Session executes SQL for one database inside one virtual machine.
+type Session struct {
+	DB     *Database
+	VM     *vm.VM
+	Pool   *buffer.Pool
+	Config Config
+	// Params are the planning parameters used by Query/Explain; they
+	// start as PostgreSQL-like defaults sized to this session's memory
+	// and may be replaced with calibrated values.
+	Params optimizer.Params
+}
+
+// NewSession binds a database to a VM.
+func NewSession(db *Database, v *vm.VM, cfg Config) (*Session, error) {
+	if cfg.BufferFrac <= 0 || cfg.BufferFrac > 1 {
+		return nil, fmt.Errorf("engine: BufferFrac %g out of range", cfg.BufferFrac)
+	}
+	if cfg.WorkMemFrac <= 0 || cfg.WorkMemFrac > 1 {
+		return nil, fmt.Errorf("engine: WorkMemFrac %g out of range", cfg.WorkMemFrac)
+	}
+	frames := buffer.PoolSizeForVM(v, cfg.BufferFrac)
+	pool, err := buffer.NewPool(db.Disk, v, frames)
+	if err != nil {
+		return nil, err
+	}
+	params := optimizer.DefaultParams()
+	params.EffectiveCacheSizePages = int64(frames)
+	params.WorkMemBytes = workMemFor(v, cfg)
+	return &Session{DB: db, VM: v, Pool: pool, Config: cfg, Params: params}, nil
+}
+
+func workMemFor(v *vm.VM, cfg Config) int64 {
+	wm := int64(float64(v.MemBytes()) * cfg.WorkMemFrac)
+	if wm < 64<<10 {
+		wm = 64 << 10
+	}
+	return wm
+}
+
+// execContext builds the executor context for this session.
+func (s *Session) execContext() *executor.Context {
+	return &executor.Context{Pool: s.Pool, VM: s.VM, WorkMemBytes: s.Params.WorkMemBytes}
+}
+
+// Exec runs a DDL/DML statement (CREATE TABLE, CREATE INDEX, INSERT,
+// ANALYZE) and returns the number of rows affected.
+func (s *Session) Exec(src string) (int64, error) {
+	stmt, err := sql.Parse(src)
+	if err != nil {
+		return 0, err
+	}
+	switch x := stmt.(type) {
+	case *sql.CreateTableStmt:
+		cols := make([]catalog.Column, len(x.Columns))
+		for i, c := range x.Columns {
+			cols[i] = catalog.Column{Name: c.Name, Kind: c.Kind}
+		}
+		_, err := s.DB.Catalog.CreateTable(s.DB.Disk, x.Name, catalog.Schema{Cols: cols})
+		return 0, err
+
+	case *sql.CreateIndexStmt:
+		_, err := s.DB.Catalog.CreateIndex(s.DB.Disk, s.Pool, x.Name, x.Table, x.Column)
+		return 0, err
+
+	case *sql.InsertStmt:
+		return s.execInsert(x)
+
+	case *sql.DeleteStmt:
+		return s.execDelete(x)
+
+	case *sql.UpdateStmt:
+		return s.execUpdate(x)
+
+	case *sql.AnalyzeStmt:
+		if x.Table != "" {
+			return 0, s.Analyze(x.Table)
+		}
+		for _, t := range s.DB.Catalog.Tables() {
+			if err := catalog.Analyze(s.Pool, t); err != nil {
+				return 0, err
+			}
+		}
+		return 0, nil
+
+	case *sql.SelectStmt, *sql.ExplainStmt:
+		return 0, fmt.Errorf("engine: use Query for SELECT/EXPLAIN")
+
+	default:
+		return 0, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (s *Session) execInsert(ins *sql.InsertStmt) (int64, error) {
+	t, err := s.DB.Catalog.Table(ins.Table)
+	if err != nil {
+		return 0, err
+	}
+	var count int64
+	for _, rowExprs := range ins.Rows {
+		if len(rowExprs) != len(t.Schema.Cols) {
+			return count, fmt.Errorf("engine: INSERT row has %d values, table %q has %d columns",
+				len(rowExprs), ins.Table, len(t.Schema.Cols))
+		}
+		tup := make(storage.Tuple, len(rowExprs))
+		for i, e := range rowExprs {
+			v, err := evalConstExpr(e)
+			if err != nil {
+				return count, err
+			}
+			if !v.IsNull() && !types.Compatible(v.Kind, t.Schema.Cols[i].Kind) {
+				return count, fmt.Errorf("engine: value %v is not valid for %s column %q",
+					v, t.Schema.Cols[i].Kind, t.Schema.Cols[i].Name)
+			}
+			tup[i] = coerce(v, t.Schema.Cols[i].Kind)
+		}
+		if err := s.InsertTuple(t, tup); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// InsertTuple appends one tuple to a table, maintaining its indexes. It is
+// also the bulk-load entry point used by the workload generators.
+func (s *Session) InsertTuple(t *catalog.Table, tup storage.Tuple) error {
+	s.VM.AccountCPU(executor.OpsPerTuple)
+	tid, err := t.Heap.Insert(s.Pool, tup)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.Indexes {
+		v := tup[ix.Col]
+		if v.IsNull() {
+			continue
+		}
+		s.VM.AccountCPU(executor.OpsPerIndexTuple)
+		if err := ix.Tree.Insert(s.Pool, v.I, tid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalConstExpr evaluates a constant INSERT expression.
+func evalConstExpr(e sql.Expr) (types.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Value, nil
+	case *sql.NegExpr:
+		v, err := evalConstExpr(x.E)
+		if err != nil {
+			return types.Null, err
+		}
+		switch v.Kind {
+		case types.KindInt:
+			return types.NewInt(-v.I), nil
+		case types.KindFloat:
+			return types.NewFloat(-v.F), nil
+		default:
+			return types.Null, fmt.Errorf("engine: cannot negate %s", v.Kind)
+		}
+	default:
+		return types.Null, fmt.Errorf("engine: INSERT values must be literals, got %T", e)
+	}
+}
+
+// coerce adapts a literal to the column kind (int literals into float or
+// date columns).
+func coerce(v types.Value, k types.Kind) types.Value {
+	if v.IsNull() || v.Kind == k {
+		return v
+	}
+	switch {
+	case k == types.KindFloat && v.Kind == types.KindInt:
+		return types.NewFloat(float64(v.I))
+	case k == types.KindDate && v.Kind == types.KindInt:
+		return types.NewDate(v.I)
+	case k == types.KindInt && v.Kind == types.KindFloat && v.F == float64(int64(v.F)):
+		return types.NewInt(int64(v.F))
+	default:
+		return v
+	}
+}
+
+// Checkpoint writes all dirty buffered pages to the simulated disk. A
+// Database may be shared by sessions with independent buffer pools (no
+// cache coherence is provided); after loading data through one session,
+// Checkpoint must be called before another session reads the database.
+func (s *Session) Checkpoint() error { return s.Pool.FlushAll() }
+
+// Analyze recomputes statistics for one table.
+func (s *Session) Analyze(table string) error {
+	t, err := s.DB.Catalog.Table(table)
+	if err != nil {
+		return err
+	}
+	return catalog.Analyze(s.Pool, t)
+}
+
+// Plan binds and optimizes a SELECT under explicit parameters without
+// executing it — the virtualization-aware what-if mode.
+func (s *Session) Plan(src string, p optimizer.Params) (*optimizer.Plan, error) {
+	sel, err := sql.ParseSelect(src)
+	if err != nil {
+		return nil, err
+	}
+	q, err := plan.Bind(sel, s.DB.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Optimize(q, p)
+}
+
+// EstimateSeconds returns the optimizer's estimated execution time of a
+// SELECT under the given calibrated parameters.
+func (s *Session) EstimateSeconds(src string, p optimizer.Params) (float64, error) {
+	pl, err := s.Plan(src, p)
+	if err != nil {
+		return 0, err
+	}
+	return pl.EstimatedSeconds(), nil
+}
+
+// Query plans (under the session's parameters) and executes a SELECT.
+func (s *Session) Query(src string) (*executor.Result, error) {
+	pl, err := s.Plan(src, s.Params)
+	if err != nil {
+		return nil, err
+	}
+	return executor.Run(pl, s.execContext())
+}
+
+// QueryRows runs a SELECT and materializes all rows.
+func (s *Session) QueryRows(src string) ([]plan.Row, []string, error) {
+	res, err := s.Query(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := res.Collect()
+	return rows, res.Columns, err
+}
+
+// Explain returns the plan of a SELECT (or EXPLAIN SELECT) as text.
+func (s *Session) Explain(src string) (string, error) {
+	trimmed := strings.TrimSpace(src)
+	if stmt, err := sql.Parse(trimmed); err == nil {
+		if ex, ok := stmt.(*sql.ExplainStmt); ok {
+			q, err := plan.Bind(ex.Query, s.DB.Catalog)
+			if err != nil {
+				return "", err
+			}
+			pl, err := optimizer.Optimize(q, s.Params)
+			if err != nil {
+				return "", err
+			}
+			return pl.Explain(), nil
+		}
+	}
+	pl, err := s.Plan(trimmed, s.Params)
+	if err != nil {
+		return "", err
+	}
+	return pl.Explain(), nil
+}
+
+// ExplainAnalyze plans a SELECT under the session's parameters, executes
+// it (discarding result rows), and returns the plan annotated with actual
+// per-node row counts plus the measured simulated resource usage — the
+// engine's EXPLAIN ANALYZE.
+func (s *Session) ExplainAnalyze(src string) (string, error) {
+	pl, err := s.Plan(src, s.Params)
+	if err != nil {
+		return "", err
+	}
+	ctx := s.execContext()
+	ctx.Stats = executor.NewStatsCollector()
+	start := s.VM.Snapshot()
+	res, err := executor.Run(pl, ctx)
+	if err != nil {
+		return "", err
+	}
+	var produced int64
+	for {
+		_, ok, err := res.Next()
+		if err != nil {
+			res.Close()
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		produced++
+	}
+	res.Close()
+	used := s.VM.Since(start)
+
+	out := pl.ExplainAnnotated(func(n optimizer.Node) string {
+		st := ctx.Stats.For(n)
+		if st == nil {
+			return "never executed"
+		}
+		return fmt.Sprintf("actual rows=%d loops=%d", st.Rows, st.Loops)
+	})
+	out += fmt.Sprintf(
+		"actual: %d rows, %.6fs simulated (cpu %.6fs, io %.6fs; %d seq + %d rand reads, %d writes)\n",
+		produced, s.VM.ElapsedSince(start), used.CPUSeconds, used.IOSeconds,
+		used.SeqReads, used.RandReads, used.Writes)
+	return out, nil
+}
+
+// RunStatement executes one workload statement (SELECT or DML) for its
+// side effects and cost, returning the number of rows produced or
+// affected.
+func (s *Session) RunStatement(src string) (int64, error) {
+	trimmed := strings.TrimSpace(strings.ToUpper(src))
+	if strings.HasPrefix(trimmed, "SELECT") {
+		res, err := s.Query(src)
+		if err != nil {
+			return 0, err
+		}
+		defer res.Close()
+		var n int64
+		for {
+			_, ok, err := res.Next()
+			if err != nil {
+				return n, err
+			}
+			if !ok {
+				return n, nil
+			}
+			n++
+		}
+	}
+	return s.Exec(src)
+}
+
+// RunWorkload executes a sequence of statements, returning the simulated
+// elapsed seconds they took in this session's VM.
+func (s *Session) RunWorkload(statements []string) (float64, error) {
+	start := s.VM.Snapshot()
+	for i, stmt := range statements {
+		if _, err := s.RunStatement(stmt); err != nil {
+			return s.VM.ElapsedSince(start), fmt.Errorf("engine: workload statement %d: %w", i, err)
+		}
+	}
+	return s.VM.ElapsedSince(start), nil
+}

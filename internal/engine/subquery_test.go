@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDerivedTableBasic(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	rows := query(t, s, `SELECT n FROM (SELECT name AS n, age FROM people WHERE age > 25) AS adults ORDER BY n`)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].S != "alice" || rows[2][0].S != "dave" {
+		t.Errorf("derived rows = %v", rows)
+	}
+}
+
+func TestDerivedTableWithOuterFilter(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	rows := query(t, s, `SELECT n, a FROM (SELECT name n, age a FROM people) x WHERE a = 30 ORDER BY n`)
+	if len(rows) != 2 || rows[0][0].S != "alice" || rows[1][0].S != "dave" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDerivedTableAggregationInside(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	rows := query(t, s, `SELECT cnt FROM (SELECT age, count(*) AS cnt FROM people GROUP BY age) g
+		WHERE cnt > 1`)
+	if len(rows) != 1 || rows[0][0].I != 2 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestDerivedTableJoinedWithBase(t *testing.T) {
+	s := newSession(t)
+	setupJoinTables(t, s)
+	rows := query(t, s, `SELECT d_name, total FROM dept,
+		(SELECT e_dept, sum(e_sal) AS total FROM emp GROUP BY e_dept) sums
+		WHERE d_id = e_dept ORDER BY d_name`)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0].S != "eng" || rows[0][1].F != 220 {
+		t.Errorf("eng total = %v", rows[0])
+	}
+	if rows[1][0].S != "sales" || rows[1][1].F != 90 {
+		t.Errorf("sales total = %v", rows[1])
+	}
+}
+
+// TestTPCHQ13ExactForm runs TPC-H Q13 in its published nested form: the
+// customer-orders outer join aggregated per customer inside a derived
+// table, then the distribution of counts outside — exactly the query the
+// paper's experiment uses.
+func TestTPCHQ13ExactForm(t *testing.T) {
+	s := newSession(t)
+	setupJoinTables(t, s)
+	rows := query(t, s, `
+		SELECT c_count, count(*) AS custdist
+		FROM (SELECT d_id, count(e_id) AS c_count
+		      FROM dept LEFT OUTER JOIN emp ON d_id = e_dept
+		      GROUP BY d_id) c_orders
+		GROUP BY c_count
+		ORDER BY custdist DESC, c_count DESC`)
+	// dept counts: eng->2, sales->1, empty->0 => distribution: one dept
+	// each with counts 2, 1, 0.
+	if len(rows) != 3 {
+		t.Fatalf("distribution = %v", rows)
+	}
+	for _, r := range rows {
+		if r[1].I != 1 {
+			t.Errorf("each count appears once: %v", rows)
+		}
+	}
+	// DESC by c_count within equal custdist.
+	if rows[0][0].I != 2 || rows[1][0].I != 1 || rows[2][0].I != 0 {
+		t.Errorf("order = %v", rows)
+	}
+}
+
+func TestDerivedTableExplainShowsSubqueryScan(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	expl, err := s.Explain(`SELECT count(*) FROM (SELECT age FROM people WHERE age > 20) x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(expl, "SubqueryScan") {
+		t.Errorf("explain:\n%s", expl)
+	}
+}
+
+func TestDerivedTableErrors(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	bad := []string{
+		// Missing alias.
+		"SELECT * FROM (SELECT age FROM people)",
+		// Unknown inner column.
+		"SELECT * FROM (SELECT nope FROM people) x",
+		// Correlation is not supported: inner query cannot see outer rels.
+		"SELECT * FROM people p, (SELECT age FROM people WHERE name = p.name) x",
+		// Not a select.
+		"SELECT * FROM (INSERT INTO people VALUES (1)) x",
+		// Duplicate alias.
+		"SELECT 1 FROM (SELECT age FROM people) x, (SELECT age FROM people) x",
+	}
+	for _, q := range bad {
+		if _, _, err := s.QueryRows(q); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestDerivedTableInOuterJoin(t *testing.T) {
+	s := newSession(t)
+	setupJoinTables(t, s)
+	rows := query(t, s, `SELECT d_name, cnt FROM dept
+		LEFT JOIN (SELECT e_dept, count(*) AS cnt FROM emp WHERE e_sal > 95 GROUP BY e_dept) busy
+		  ON d_id = e_dept
+		ORDER BY d_name`)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// eng has 2 emps > 95; sales and empty have none (NULL).
+	if rows[1][0].S != "eng" || rows[1][1].I != 2 {
+		t.Errorf("eng = %v", rows[1])
+	}
+	if !rows[0][1].IsNull() || !rows[2][1].IsNull() {
+		t.Errorf("unmatched should be NULL: %v", rows)
+	}
+}
+
+func TestNestedDerivedTables(t *testing.T) {
+	s := newSession(t)
+	setupPeople(t, s)
+	rows := query(t, s, `SELECT m FROM
+		(SELECT max(a) AS m FROM (SELECT age AS a FROM people WHERE age IS NOT NULL) inner1) outer1`)
+	if len(rows) != 1 || rows[0][0].I != 35 {
+		t.Errorf("nested = %v", rows)
+	}
+}

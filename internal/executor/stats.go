@@ -1,0 +1,62 @@
+package executor
+
+import (
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+)
+
+// NodeStats records what one plan operator actually did during execution,
+// for EXPLAIN ANALYZE.
+type NodeStats struct {
+	// Rows is the number of rows the operator produced.
+	Rows int64
+	// Loops counts how many times the operator was opened (rescans).
+	Loops int64
+}
+
+// StatsCollector accumulates per-node execution statistics when attached
+// to a Context.
+type StatsCollector struct {
+	byNode map[optimizer.Node]*NodeStats
+}
+
+// NewStatsCollector creates an empty collector.
+func NewStatsCollector() *StatsCollector {
+	return &StatsCollector{byNode: make(map[optimizer.Node]*NodeStats)}
+}
+
+// For returns the recorded statistics for a plan node (nil if the node
+// never ran).
+func (c *StatsCollector) For(n optimizer.Node) *NodeStats {
+	if c == nil {
+		return nil
+	}
+	return c.byNode[n]
+}
+
+// register returns the stats cell for a node, creating it on first use.
+func (c *StatsCollector) register(n optimizer.Node) *NodeStats {
+	st, ok := c.byNode[n]
+	if !ok {
+		st = &NodeStats{}
+		c.byNode[n] = st
+	}
+	st.Loops++
+	return st
+}
+
+// statIter wraps an iterator and counts its output rows.
+type statIter struct {
+	inner iterator
+	stats *NodeStats
+}
+
+func (s *statIter) Next() (plan.Row, bool, error) {
+	row, ok, err := s.inner.Next()
+	if ok {
+		s.stats.Rows++
+	}
+	return row, ok, err
+}
+
+func (s *statIter) Close() { s.inner.Close() }

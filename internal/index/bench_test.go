@@ -1,0 +1,84 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+
+	"dbvirt/internal/storage"
+)
+
+func benchTree(b *testing.B, n int) (*BTree, *storage.DirectPager) {
+	b.Helper()
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	tree, err := Create(pg, d.CreateFile())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(pg, rng.Int63n(int64(n)), tid(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tree, pg
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	tree, _ := Create(pg, d.CreateFile())
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(pg, rng.Int63(), tid(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	tree, _ := Create(pg, d.CreateFile())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tree.Insert(pg, int64(i), tid(int64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointSearch(b *testing.B) {
+	tree, pg := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Search(pg, rng.Int63n(100000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tree, pg := benchTree(b, 100000)
+	rng := rand.New(rand.NewSource(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := rng.Int63n(100000 - 200)
+		it, err := tree.SeekRange(pg, lo, lo+100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for {
+			_, _, ok, err := it.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+		}
+		it.Close()
+	}
+}

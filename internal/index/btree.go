@@ -1,0 +1,585 @@
+// Package index implements a page-based B+-tree mapping int64 keys to heap
+// tuple IDs. It supports duplicate keys, range scans via a leaf sibling
+// chain, and lazy deletes. All page access goes through a storage.Pager,
+// so index I/O is charged to the owning VM like any other page access.
+//
+// Page 0 of the index file is a meta page holding the root page number,
+// tree height, and entry count. Interior and leaf nodes use fixed-size
+// entries, giving fan-outs of ~680 and ~580 respectively at 8 KiB pages.
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dbvirt/internal/storage"
+)
+
+const (
+	metaPage = 0
+
+	// node header layout
+	offIsLeaf  = 0 // byte: 1 leaf, 0 interior
+	offNumKeys = 2 // uint16
+	offNext    = 4 // uint32: next-leaf page (leaves only)
+	hdrSize    = 8
+
+	leafEntrySize = 14 // key int64 + TID (page uint32 + slot uint16)
+	intEntrySize  = 12 // key int64 + child uint32
+	intFirstChild = hdrSize
+	intEntries    = hdrSize + 4
+
+	invalidPage = ^uint32(0)
+)
+
+// MaxLeafEntries and MaxInternalKeys are exported for tests that exercise
+// splits.
+const (
+	MaxLeafEntries  = (storage.PageSize - hdrSize) / leafEntrySize
+	MaxInternalKeys = (storage.PageSize - intEntries) / intEntrySize
+)
+
+// BTree is a handle to a B+-tree stored in one disk file. Like HeapFile it
+// holds only identity; page access uses the Pager passed to each call.
+type BTree struct {
+	fid storage.FileID
+}
+
+// Create initializes a new B+-tree in an empty file: a meta page plus an
+// empty root leaf.
+func Create(pg storage.Pager, fid storage.FileID) (*BTree, error) {
+	if pg.NumPages(fid) != 0 {
+		return nil, fmt.Errorf("index: file %d is not empty", fid)
+	}
+	metaID, meta, err := pg.Allocate(fid)
+	if err != nil {
+		return nil, err
+	}
+	rootID, root, err := pg.Allocate(fid)
+	if err != nil {
+		pg.Unpin(metaID, false)
+		return nil, err
+	}
+	initLeaf(root)
+	pg.Unpin(rootID, true)
+	setMeta(meta, rootID.Page, 1, 0)
+	pg.Unpin(metaID, true)
+	return &BTree{fid: fid}, nil
+}
+
+// Open wraps an existing B+-tree file.
+func Open(fid storage.FileID) *BTree { return &BTree{fid: fid} }
+
+// FileID returns the underlying disk file.
+func (t *BTree) FileID() storage.FileID { return t.fid }
+
+func setMeta(meta *storage.PageData, root uint32, height uint32, entries int64) {
+	binary.LittleEndian.PutUint32(meta[0:], root)
+	binary.LittleEndian.PutUint32(meta[4:], height)
+	binary.LittleEndian.PutUint64(meta[8:], uint64(entries))
+}
+
+func getMeta(meta *storage.PageData) (root uint32, height uint32, entries int64) {
+	return binary.LittleEndian.Uint32(meta[0:]),
+		binary.LittleEndian.Uint32(meta[4:]),
+		int64(binary.LittleEndian.Uint64(meta[8:]))
+}
+
+func initLeaf(p *storage.PageData) {
+	p[offIsLeaf] = 1
+	binary.LittleEndian.PutUint16(p[offNumKeys:], 0)
+	binary.LittleEndian.PutUint32(p[offNext:], invalidPage)
+}
+
+func initInternal(p *storage.PageData) {
+	p[offIsLeaf] = 0
+	binary.LittleEndian.PutUint16(p[offNumKeys:], 0)
+	binary.LittleEndian.PutUint32(p[offNext:], invalidPage)
+}
+
+func isLeaf(p *storage.PageData) bool { return p[offIsLeaf] == 1 }
+func numKeys(p *storage.PageData) int { return int(binary.LittleEndian.Uint16(p[offNumKeys:])) }
+func setNumKeys(p *storage.PageData, n int) {
+	binary.LittleEndian.PutUint16(p[offNumKeys:], uint16(n))
+}
+func nextLeaf(p *storage.PageData) uint32       { return binary.LittleEndian.Uint32(p[offNext:]) }
+func setNextLeaf(p *storage.PageData, n uint32) { binary.LittleEndian.PutUint32(p[offNext:], n) }
+
+// --- leaf entries ---
+
+func leafKey(p *storage.PageData, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[hdrSize+i*leafEntrySize:]))
+}
+
+func leafTID(p *storage.PageData, i int) storage.TID {
+	off := hdrSize + i*leafEntrySize + 8
+	return storage.TID{
+		Page: binary.LittleEndian.Uint32(p[off:]),
+		Slot: binary.LittleEndian.Uint16(p[off+4:]),
+	}
+}
+
+func setLeafEntry(p *storage.PageData, i int, key int64, tid storage.TID) {
+	off := hdrSize + i*leafEntrySize
+	binary.LittleEndian.PutUint64(p[off:], uint64(key))
+	binary.LittleEndian.PutUint32(p[off+8:], tid.Page)
+	binary.LittleEndian.PutUint16(p[off+12:], tid.Slot)
+}
+
+func leafInsertAt(p *storage.PageData, i int, key int64, tid storage.TID) {
+	n := numKeys(p)
+	copy(p[hdrSize+(i+1)*leafEntrySize:hdrSize+(n+1)*leafEntrySize],
+		p[hdrSize+i*leafEntrySize:hdrSize+n*leafEntrySize])
+	setLeafEntry(p, i, key, tid)
+	setNumKeys(p, n+1)
+}
+
+func leafRemoveAt(p *storage.PageData, i int) {
+	n := numKeys(p)
+	copy(p[hdrSize+i*leafEntrySize:hdrSize+(n-1)*leafEntrySize],
+		p[hdrSize+(i+1)*leafEntrySize:hdrSize+n*leafEntrySize])
+	setNumKeys(p, n-1)
+}
+
+// leafLowerBound returns the first index whose key >= key.
+func leafLowerBound(p *storage.PageData, key int64) int {
+	lo, hi := 0, numKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if leafKey(p, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- internal entries ---
+
+func intKey(p *storage.PageData, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(p[intEntries+i*intEntrySize:]))
+}
+
+func intChild(p *storage.PageData, i int) uint32 {
+	if i == 0 {
+		return binary.LittleEndian.Uint32(p[intFirstChild:])
+	}
+	return binary.LittleEndian.Uint32(p[intEntries+(i-1)*intEntrySize+8:])
+}
+
+func setIntChild(p *storage.PageData, i int, child uint32) {
+	if i == 0 {
+		binary.LittleEndian.PutUint32(p[intFirstChild:], child)
+		return
+	}
+	binary.LittleEndian.PutUint32(p[intEntries+(i-1)*intEntrySize+8:], child)
+}
+
+func setIntKey(p *storage.PageData, i int, key int64) {
+	binary.LittleEndian.PutUint64(p[intEntries+i*intEntrySize:], uint64(key))
+}
+
+// intInsertAt inserts (key, rightChild) at key position i.
+func intInsertAt(p *storage.PageData, i int, key int64, rightChild uint32) {
+	n := numKeys(p)
+	copy(p[intEntries+(i+1)*intEntrySize:intEntries+(n+1)*intEntrySize],
+		p[intEntries+i*intEntrySize:intEntries+n*intEntrySize])
+	setIntKey(p, i, key)
+	binary.LittleEndian.PutUint32(p[intEntries+i*intEntrySize+8:], rightChild)
+	setNumKeys(p, n+1)
+}
+
+// intChildIndex returns the child slot to descend into for an insert of
+// key: the first child whose separator is greater than key (equal keys go
+// right).
+func intChildIndex(p *storage.PageData, key int64) int {
+	lo, hi := 0, numKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// intChildIndexLower returns the child that may contain the first
+// occurrence of key: the first child whose separator is >= key. Seeks use
+// this so that duplicates that straddled a leaf split are not skipped.
+func intChildIndexLower(p *storage.PageData, key int64) int {
+	lo, hi := 0, numKeys(p)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if intKey(p, mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// --- tree operations ---
+
+// NumEntries returns the number of live entries in the tree.
+func (t *BTree) NumEntries(pg storage.Pager) (int64, error) {
+	id := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(id, storage.RandHint)
+	if err != nil {
+		return 0, err
+	}
+	defer pg.Unpin(id, false)
+	_, _, entries := getMeta(meta)
+	return entries, nil
+}
+
+// Height returns the tree height (1 for a single leaf).
+func (t *BTree) Height(pg storage.Pager) (int, error) {
+	id := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(id, storage.RandHint)
+	if err != nil {
+		return 0, err
+	}
+	defer pg.Unpin(id, false)
+	_, h, _ := getMeta(meta)
+	return int(h), nil
+}
+
+// splitResult describes a child split to the parent.
+type splitResult struct {
+	split   bool
+	sepKey  int64  // first key of the new right node
+	rightPg uint32 // page of the new right node
+}
+
+// Insert adds (key, tid) to the tree.
+func (t *BTree) Insert(pg storage.Pager, key int64, tid storage.TID) error {
+	metaID := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(metaID, storage.RandHint)
+	if err != nil {
+		return err
+	}
+	root, height, entries := getMeta(meta)
+
+	res, err := t.insertInto(pg, root, key, tid)
+	if err != nil {
+		pg.Unpin(metaID, false)
+		return err
+	}
+	if res.split {
+		// Grow a new root.
+		newRootID, newRoot, err := pg.Allocate(t.fid)
+		if err != nil {
+			pg.Unpin(metaID, false)
+			return err
+		}
+		initInternal(newRoot)
+		setIntChild(newRoot, 0, root)
+		intInsertAt(newRoot, 0, res.sepKey, res.rightPg)
+		pg.Unpin(newRootID, true)
+		root = newRootID.Page
+		height++
+	}
+	setMeta(meta, root, height, entries+1)
+	pg.Unpin(metaID, true)
+	return nil
+}
+
+func (t *BTree) insertInto(pg storage.Pager, pageNo uint32, key int64, tid storage.TID) (splitResult, error) {
+	id := storage.PageID{File: t.fid, Page: pageNo}
+	p, err := pg.Fetch(id, storage.RandHint)
+	if err != nil {
+		return splitResult{}, err
+	}
+	if isLeaf(p) {
+		res, err := t.insertLeaf(pg, id, p, key, tid)
+		return res, err
+	}
+	ci := intChildIndex(p, key)
+	child := intChild(p, ci)
+	// Recurse without holding the parent data pointer invalid: the pin
+	// keeps the frame stable.
+	res, err := t.insertInto(pg, child, key, tid)
+	if err != nil {
+		pg.Unpin(id, false)
+		return splitResult{}, err
+	}
+	if !res.split {
+		pg.Unpin(id, false)
+		return splitResult{}, nil
+	}
+	if numKeys(p) < MaxInternalKeys {
+		intInsertAt(p, ci, res.sepKey, res.rightPg)
+		pg.Unpin(id, true)
+		return splitResult{}, nil
+	}
+	out, err := t.splitInternal(pg, p, ci, res.sepKey, res.rightPg)
+	pg.Unpin(id, true)
+	return out, err
+}
+
+func (t *BTree) insertLeaf(pg storage.Pager, id storage.PageID, p *storage.PageData, key int64, tid storage.TID) (splitResult, error) {
+	pos := leafLowerBound(p, key)
+	if numKeys(p) < MaxLeafEntries {
+		leafInsertAt(p, pos, key, tid)
+		pg.Unpin(id, true)
+		return splitResult{}, nil
+	}
+	// Split: move the upper half to a new right sibling.
+	rightID, right, err := pg.Allocate(t.fid)
+	if err != nil {
+		pg.Unpin(id, false)
+		return splitResult{}, err
+	}
+	initLeaf(right)
+	n := numKeys(p)
+	mid := n / 2
+	for i := mid; i < n; i++ {
+		setLeafEntry(right, i-mid, leafKey(p, i), leafTID(p, i))
+	}
+	setNumKeys(right, n-mid)
+	setNumKeys(p, mid)
+	setNextLeaf(right, nextLeaf(p))
+	setNextLeaf(p, rightID.Page)
+	// Insert into the correct half.
+	if pos <= mid && (pos < mid || key < leafKey(right, 0)) {
+		leafInsertAt(p, pos, key, tid)
+	} else {
+		leafInsertAt(right, leafLowerBound(right, key), key, tid)
+	}
+	sep := leafKey(right, 0)
+	pg.Unpin(rightID, true)
+	pg.Unpin(id, true)
+	return splitResult{split: true, sepKey: sep, rightPg: rightID.Page}, nil
+}
+
+// splitInternal splits a full internal node p while inserting (key,
+// rightChild) at key index ci. Returns the split to propagate.
+func (t *BTree) splitInternal(pg storage.Pager, p *storage.PageData, ci int, key int64, rightChild uint32) (splitResult, error) {
+	n := numKeys(p)
+	// Build the merged key/child sequence in memory (n+1 keys, n+2 children).
+	keys := make([]int64, 0, n+1)
+	children := make([]uint32, 0, n+2)
+	children = append(children, intChild(p, 0))
+	for i := 0; i < n; i++ {
+		if i == ci {
+			keys = append(keys, key)
+			children = append(children, rightChild)
+		}
+		keys = append(keys, intKey(p, i))
+		children = append(children, intChild(p, i+1))
+	}
+	if ci == n {
+		keys = append(keys, key)
+		children = append(children, rightChild)
+	}
+	mid := len(keys) / 2
+	sep := keys[mid]
+
+	rightID, right, err := pg.Allocate(t.fid)
+	if err != nil {
+		return splitResult{}, err
+	}
+	initInternal(right)
+	// Left keeps keys[:mid], children[:mid+1].
+	setNumKeys(p, 0)
+	setIntChild(p, 0, children[0])
+	for i := 0; i < mid; i++ {
+		intInsertAt(p, i, keys[i], children[i+1])
+	}
+	// Right gets keys[mid+1:], children[mid+1:].
+	setIntChild(right, 0, children[mid+1])
+	for i := mid + 1; i < len(keys); i++ {
+		intInsertAt(right, i-mid-1, keys[i], children[i+1])
+	}
+	pg.Unpin(rightID, true)
+	return splitResult{split: true, sepKey: sep, rightPg: rightID.Page}, nil
+}
+
+// Search returns the TIDs of all entries with exactly the given key.
+func (t *BTree) Search(pg storage.Pager, key int64) ([]storage.TID, error) {
+	var out []storage.TID
+	it, err := t.Seek(pg, key)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		k, tid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || k > key {
+			break
+		}
+		out = append(out, tid)
+	}
+	return out, nil
+}
+
+// Delete removes one entry matching (key, tid). It returns false if no
+// such entry exists. Underflowed nodes are not rebalanced (lazy deletion).
+func (t *BTree) Delete(pg storage.Pager, key int64, tid storage.TID) (bool, error) {
+	metaID := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(metaID, storage.RandHint)
+	if err != nil {
+		return false, err
+	}
+	root, height, entries := getMeta(meta)
+	leafPg, err := t.descendToLeaf(pg, root, key)
+	if err != nil {
+		pg.Unpin(metaID, false)
+		return false, err
+	}
+	// Walk the leaf chain while the key matches (duplicates may span leaves).
+	cur := leafPg
+	for cur != invalidPage {
+		id := storage.PageID{File: t.fid, Page: cur}
+		p, err := pg.Fetch(id, storage.RandHint)
+		if err != nil {
+			pg.Unpin(metaID, false)
+			return false, err
+		}
+		i := leafLowerBound(p, key)
+		for ; i < numKeys(p) && leafKey(p, i) == key; i++ {
+			if leafTID(p, i) == tid {
+				leafRemoveAt(p, i)
+				pg.Unpin(id, true)
+				setMeta(meta, root, height, entries-1)
+				pg.Unpin(metaID, true)
+				return true, nil
+			}
+		}
+		done := i < numKeys(p) // passed beyond key within this leaf
+		next := nextLeaf(p)
+		pg.Unpin(id, false)
+		if done {
+			break
+		}
+		cur = next
+	}
+	pg.Unpin(metaID, false)
+	return false, nil
+}
+
+// maxDescentDepth bounds root-to-leaf walks; a deeper descent means the
+// tree is corrupt (e.g. read through a stale cache without a checkpoint).
+const maxDescentDepth = 64
+
+// descendToLeaf returns the page number of the leaf that would contain key.
+func (t *BTree) descendToLeaf(pg storage.Pager, root uint32, key int64) (uint32, error) {
+	cur := root
+	for depth := 0; depth < maxDescentDepth; depth++ {
+		id := storage.PageID{File: t.fid, Page: cur}
+		p, err := pg.Fetch(id, storage.RandHint)
+		if err != nil {
+			return 0, err
+		}
+		if isLeaf(p) {
+			pg.Unpin(id, false)
+			return cur, nil
+		}
+		if numKeys(p) == 0 {
+			pg.Unpin(id, false)
+			return 0, fmt.Errorf("index: corrupt internal node %d (no keys); was the database checkpointed?", cur)
+		}
+		next := intChild(p, intChildIndexLower(p, key))
+		pg.Unpin(id, false)
+		cur = next
+	}
+	return 0, fmt.Errorf("index: descent deeper than %d levels; tree is corrupt", maxDescentDepth)
+}
+
+// RangeIterator scans entries with keys in [lo, hi] in ascending order.
+type RangeIterator struct {
+	t      *BTree
+	pg     storage.Pager
+	hi     int64
+	pageNo uint32
+	idx    int
+	p      *storage.PageData
+	id     storage.PageID
+	pinned bool
+	done   bool
+}
+
+// Seek positions an iterator at the first entry with key >= lo; iterate
+// with Next and stop when it reports done or the caller's bound is passed.
+// The iterator itself enforces no upper bound; use SeekRange for [lo, hi].
+func (t *BTree) Seek(pg storage.Pager, lo int64) (*RangeIterator, error) {
+	return t.SeekRange(pg, lo, int64(^uint64(0)>>1))
+}
+
+// SeekRange returns an iterator over keys in [lo, hi].
+func (t *BTree) SeekRange(pg storage.Pager, lo, hi int64) (*RangeIterator, error) {
+	metaID := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(metaID, storage.RandHint)
+	if err != nil {
+		return nil, err
+	}
+	root, _, _ := getMeta(meta)
+	pg.Unpin(metaID, false)
+	leaf, err := t.descendToLeaf(pg, root, lo)
+	if err != nil {
+		return nil, err
+	}
+	it := &RangeIterator{t: t, pg: pg, hi: hi, pageNo: leaf}
+	if err := it.pin(); err != nil {
+		return nil, err
+	}
+	it.idx = leafLowerBound(it.p, lo)
+	return it, nil
+}
+
+func (it *RangeIterator) pin() error {
+	it.id = storage.PageID{File: it.t.fid, Page: it.pageNo}
+	p, err := it.pg.Fetch(it.id, storage.RandHint)
+	if err != nil {
+		return err
+	}
+	it.p = p
+	it.pinned = true
+	return nil
+}
+
+// Next returns the next entry in the range, or ok=false at the end.
+func (it *RangeIterator) Next() (int64, storage.TID, bool, error) {
+	for !it.done {
+		if it.idx < numKeys(it.p) {
+			k := leafKey(it.p, it.idx)
+			if k > it.hi {
+				it.Close()
+				return 0, storage.TID{}, false, nil
+			}
+			tid := leafTID(it.p, it.idx)
+			it.idx++
+			return k, tid, true, nil
+		}
+		next := nextLeaf(it.p)
+		it.pg.Unpin(it.id, false)
+		it.pinned = false
+		if next == invalidPage {
+			it.done = true
+			break
+		}
+		it.pageNo = next
+		it.idx = 0
+		if err := it.pin(); err != nil {
+			it.done = true
+			return 0, storage.TID{}, false, err
+		}
+	}
+	return 0, storage.TID{}, false, nil
+}
+
+// Close releases the iterator's pinned page; safe to call repeatedly.
+func (it *RangeIterator) Close() {
+	if it.pinned {
+		it.pg.Unpin(it.id, false)
+		it.pinned = false
+	}
+	it.done = true
+}

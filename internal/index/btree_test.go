@@ -1,0 +1,447 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dbvirt/internal/storage"
+)
+
+func newTree(t *testing.T) (*BTree, *storage.DirectPager) {
+	t.Helper()
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	tree, err := Create(pg, d.CreateFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, pg
+}
+
+func tid(n int64) storage.TID {
+	return storage.TID{Page: uint32(n / 100), Slot: uint16(n % 100)}
+}
+
+func TestCreateRejectsNonEmptyFile(t *testing.T) {
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	f := d.CreateFile()
+	if _, err := d.Allocate(f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(pg, f); err == nil {
+		t.Error("Create on non-empty file should fail")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree, pg := newTree(t)
+	n, err := tree.NumEntries(pg)
+	if err != nil || n != 0 {
+		t.Fatalf("NumEntries = %d, %v", n, err)
+	}
+	h, err := tree.Height(pg)
+	if err != nil || h != 1 {
+		t.Fatalf("Height = %d, %v", h, err)
+	}
+	tids, err := tree.Search(pg, 5)
+	if err != nil || len(tids) != 0 {
+		t.Fatalf("Search on empty = %v, %v", tids, err)
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestInsertAndSearchSmall(t *testing.T) {
+	tree, pg := newTree(t)
+	keys := []int64{5, 3, 8, 1, 9, 7, 2, 6, 4, 0}
+	for _, k := range keys {
+		if err := tree.Insert(pg, k, tid(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		got, err := tree.Search(pg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 || got[0] != tid(k) {
+			t.Errorf("Search(%d) = %v, want [%v]", k, got, tid(k))
+		}
+	}
+	if got, _ := tree.Search(pg, 100); len(got) != 0 {
+		t.Errorf("Search(100) = %v, want empty", got)
+	}
+	if n, _ := tree.NumEntries(pg); n != int64(len(keys)) {
+		t.Errorf("NumEntries = %d, want %d", n, len(keys))
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestInsertManyCausesSplitsAndStaysSorted(t *testing.T) {
+	tree, pg := newTree(t)
+	const n = 3 * MaxLeafEntries // guarantees leaf and possibly internal splits
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		if err := tree.Insert(pg, int64(k), tid(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h, _ := tree.Height(pg); h < 2 {
+		t.Errorf("height = %d, expected splits to grow the tree", h)
+	}
+	it, err := tree.SeekRange(pg, 0, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev int64 = -1
+	count := 0
+	for {
+		k, v, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if k <= prev {
+			t.Fatalf("keys out of order: %d after %d", k, prev)
+		}
+		if v != tid(k) {
+			t.Fatalf("wrong TID for key %d", k)
+		}
+		prev = k
+		count++
+	}
+	it.Close()
+	if count != n {
+		t.Errorf("range scan saw %d entries, want %d", count, n)
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestAscendingAndDescendingInserts(t *testing.T) {
+	for name, gen := range map[string]func(i, n int) int64{
+		"ascending":  func(i, n int) int64 { return int64(i) },
+		"descending": func(i, n int) int64 { return int64(n - i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tree, pg := newTree(t)
+			n := 2*MaxLeafEntries + 7
+			for i := 0; i < n; i++ {
+				if err := tree.Insert(pg, gen(i, n), tid(gen(i, n))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			it, _ := tree.Seek(pg, -1)
+			count := 0
+			var prev int64 = -1 << 62
+			for {
+				k, _, ok, err := it.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				if k < prev {
+					t.Fatalf("order violation")
+				}
+				prev = k
+				count++
+			}
+			it.Close()
+			if count != n {
+				t.Errorf("saw %d, want %d", count, n)
+			}
+		})
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tree, pg := newTree(t)
+	// Insert enough duplicates of one key to straddle leaf splits, with
+	// other keys around them.
+	const dups = MaxLeafEntries + 50
+	for i := 0; i < dups; i++ {
+		if err := tree.Insert(pg, 42, tid(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []int64{41, 43, 42, 40, 44} {
+		if err := tree.Insert(pg, k, tid(1000+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := tree.Search(pg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != dups+1 {
+		t.Errorf("Search(42) found %d entries, want %d", len(got), dups+1)
+	}
+	if g, _ := tree.Search(pg, 41); len(g) != 1 {
+		t.Errorf("Search(41) = %d entries, want 1", len(g))
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestRangeScanBounds(t *testing.T) {
+	tree, pg := newTree(t)
+	for k := int64(0); k < 100; k += 2 { // even keys 0..98
+		tree.Insert(pg, k, tid(k))
+	}
+	collect := func(lo, hi int64) []int64 {
+		it, err := tree.SeekRange(pg, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer it.Close()
+		var out []int64
+		for {
+			k, _, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			out = append(out, k)
+		}
+		return out
+	}
+	if got := collect(10, 20); len(got) != 6 || got[0] != 10 || got[5] != 20 {
+		t.Errorf("range [10,20] = %v", got)
+	}
+	if got := collect(11, 19); len(got) != 4 || got[0] != 12 || got[3] != 18 {
+		t.Errorf("range [11,19] = %v", got)
+	}
+	if got := collect(-5, -1); len(got) != 0 {
+		t.Errorf("range below = %v", got)
+	}
+	if got := collect(200, 300); len(got) != 0 {
+		t.Errorf("range above = %v", got)
+	}
+	if got := collect(98, 1000); len(got) != 1 || got[0] != 98 {
+		t.Errorf("range at end = %v", got)
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tree, pg := newTree(t)
+	for k := int64(0); k < 50; k++ {
+		tree.Insert(pg, k, tid(k))
+	}
+	ok, err := tree.Delete(pg, 25, tid(25))
+	if err != nil || !ok {
+		t.Fatalf("Delete(25) = %v, %v", ok, err)
+	}
+	if got, _ := tree.Search(pg, 25); len(got) != 0 {
+		t.Error("deleted key still found")
+	}
+	if n, _ := tree.NumEntries(pg); n != 49 {
+		t.Errorf("NumEntries = %d, want 49", n)
+	}
+	// Deleting again fails.
+	ok, err = tree.Delete(pg, 25, tid(25))
+	if err != nil || ok {
+		t.Errorf("second Delete = %v, %v; want false", ok, err)
+	}
+	// Deleting a present key with wrong TID fails.
+	ok, _ = tree.Delete(pg, 30, tid(999))
+	if ok {
+		t.Error("Delete with wrong TID should fail")
+	}
+	// Neighbors survive.
+	if got, _ := tree.Search(pg, 24); len(got) != 1 {
+		t.Error("neighbor lost")
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned", pg.PinnedCount())
+	}
+}
+
+func TestDeleteAmongDuplicates(t *testing.T) {
+	tree, pg := newTree(t)
+	const dups = MaxLeafEntries + 10
+	for i := 0; i < dups; i++ {
+		tree.Insert(pg, 7, tid(int64(i)))
+	}
+	// Delete a specific duplicate that lives past the first leaf.
+	target := tid(int64(dups - 3))
+	ok, err := tree.Delete(pg, 7, target)
+	if err != nil || !ok {
+		t.Fatalf("Delete dup = %v, %v", ok, err)
+	}
+	got, _ := tree.Search(pg, 7)
+	if len(got) != dups-1 {
+		t.Errorf("found %d, want %d", len(got), dups-1)
+	}
+	for _, g := range got {
+		if g == target {
+			t.Error("deleted TID still present")
+		}
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	tree, pg := newTree(t)
+	keys := []int64{-100, -1, 0, 1, 100, -50}
+	for _, k := range keys {
+		tree.Insert(pg, k, tid(k&0xFFF))
+	}
+	it, _ := tree.SeekRange(pg, -100, 100)
+	var got []int64
+	for {
+		k, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, k)
+	}
+	it.Close()
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: tree contents always equal a reference multimap.
+func TestTreeMatchesReferenceModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, pgd := func() (*BTree, *storage.DirectPager) {
+			d := storage.NewDiskManager()
+			pg := storage.NewDirectPager(d)
+			tr, _ := Create(pg, d.CreateFile())
+			return tr, pg
+		}()
+		ref := map[int64][]storage.TID{}
+		for op := 0; op < 400; op++ {
+			k := int64(rng.Intn(60))
+			if rng.Intn(4) != 0 { // 75% inserts
+				v := tid(int64(op))
+				if tree.Insert(pgd, k, v) != nil {
+					return false
+				}
+				ref[k] = append(ref[k], v)
+			} else if len(ref[k]) > 0 {
+				v := ref[k][0]
+				ok, err := tree.Delete(pgd, k, v)
+				if err != nil || !ok {
+					return false
+				}
+				ref[k] = ref[k][1:]
+			}
+		}
+		for k, want := range ref {
+			got, err := tree.Search(pgd, k)
+			if err != nil || len(got) != len(want) {
+				return false
+			}
+		}
+		return pgd.PinnedCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tree, pg := newTree(t)
+	n := MaxLeafEntries*MaxInternalKeys/4 + 1 // enough for height 3
+	if n > 300000 {
+		n = 300000
+	}
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(pg, int64(i), tid(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h, _ := tree.Height(pg)
+	if h < 2 || h > 4 {
+		t.Errorf("height = %d for %d entries, expected 2-4", h, n)
+	}
+	cnt, _ := tree.NumEntries(pg)
+	if cnt != int64(n) {
+		t.Errorf("NumEntries = %d, want %d", cnt, n)
+	}
+}
+
+func TestCheckInvariantsOnRandomWorkload(t *testing.T) {
+	tree, pg := newTree(t)
+	rng := rand.New(rand.NewSource(77))
+	// Duplicate-heavy inserts interleaved with deletes, verifying the
+	// full structural invariants at checkpoints.
+	live := map[int64][]storage.TID{}
+	for i := 0; i < 5000; i++ {
+		k := int64(rng.Intn(300))
+		if rng.Intn(5) != 0 {
+			v := tid(int64(i))
+			if err := tree.Insert(pg, k, v); err != nil {
+				t.Fatal(err)
+			}
+			live[k] = append(live[k], v)
+		} else if vs := live[k]; len(vs) > 0 {
+			ok, err := tree.Delete(pg, k, vs[len(vs)-1])
+			if err != nil || !ok {
+				t.Fatalf("delete: %v %v", ok, err)
+			}
+			live[k] = vs[:len(vs)-1]
+		}
+		if i%500 == 0 {
+			if err := tree.CheckInvariants(pg); err != nil {
+				t.Fatalf("after %d ops: %v", i, err)
+			}
+		}
+	}
+	if err := tree.CheckInvariants(pg); err != nil {
+		t.Fatal(err)
+	}
+	if pg.PinnedCount() != 0 {
+		t.Errorf("%d pages pinned after invariant check", pg.PinnedCount())
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	d := storage.NewDiskManager()
+	pg := storage.NewDirectPager(d)
+	tree, err := Create(pg, d.CreateFile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*MaxLeafEntries; i++ {
+		if err := tree.Insert(pg, int64(i), tid(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt a page: zero out page 2 (a node page) on disk.
+	var zero storage.PageData
+	if err := d.WritePage(storage.PageID{File: tree.FileID(), Page: 2}, &zero); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.CheckInvariants(pg); err == nil {
+		t.Error("invariant checker should detect a zeroed node")
+	}
+}

@@ -1,0 +1,133 @@
+package index
+
+import (
+	"fmt"
+
+	"dbvirt/internal/storage"
+)
+
+// CheckInvariants walks the whole tree and verifies its structural
+// invariants: no page is reachable twice (no cycles, no sharing), keys
+// within every node are sorted, children lie within their separator
+// bounds, all leaves are at the same depth, the leaf sibling chain visits
+// exactly the leaves in key order, and the meta entry count matches the
+// number of leaf entries. It is used by tests and by debugging tools.
+func (t *BTree) CheckInvariants(pg storage.Pager) error {
+	metaID := storage.PageID{File: t.fid, Page: metaPage}
+	meta, err := pg.Fetch(metaID, storage.RandHint)
+	if err != nil {
+		return err
+	}
+	root, height, entries := getMeta(meta)
+	pg.Unpin(metaID, false)
+
+	seen := map[uint32]bool{metaPage: true}
+	var leaves []uint32
+	var leafEntries int64
+
+	var walk func(pageNo uint32, depth int, lo, hi *int64) error
+	walk = func(pageNo uint32, depth int, lo, hi *int64) error {
+		if seen[pageNo] {
+			return fmt.Errorf("index: page %d reachable twice (cycle or sharing)", pageNo)
+		}
+		seen[pageNo] = true
+		id := storage.PageID{File: t.fid, Page: pageNo}
+		p, err := pg.Fetch(id, storage.RandHint)
+		if err != nil {
+			return err
+		}
+		defer pg.Unpin(id, false)
+		n := numKeys(p)
+		if isLeaf(p) {
+			if depth != int(height) {
+				return fmt.Errorf("index: leaf %d at depth %d, height is %d", pageNo, depth, height)
+			}
+			for i := 0; i < n; i++ {
+				k := leafKey(p, i)
+				if i > 0 && leafKey(p, i-1) > k {
+					return fmt.Errorf("index: leaf %d keys out of order at %d", pageNo, i)
+				}
+				if lo != nil && k < *lo {
+					return fmt.Errorf("index: leaf %d key %d below bound %d", pageNo, k, *lo)
+				}
+				if hi != nil && k > *hi {
+					return fmt.Errorf("index: leaf %d key %d above bound %d", pageNo, k, *hi)
+				}
+			}
+			leaves = append(leaves, pageNo)
+			leafEntries += int64(n)
+			return nil
+		}
+		if n < 1 {
+			return fmt.Errorf("index: internal node %d has no keys", pageNo)
+		}
+		for i := 0; i < n; i++ {
+			if i > 0 && intKey(p, i-1) > intKey(p, i) {
+				return fmt.Errorf("index: internal %d separators out of order at %d", pageNo, i)
+			}
+		}
+		for i := 0; i <= n; i++ {
+			childLo, childHi := lo, hi
+			if i > 0 {
+				k := intKey(p, i-1)
+				childLo = &k
+			}
+			if i < n {
+				k := intKey(p, i)
+				childHi = &k
+			}
+			if err := walk(intChild(p, i), depth+1, childLo, childHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(root, 1, nil, nil); err != nil {
+		return err
+	}
+	if leafEntries != entries {
+		return fmt.Errorf("index: meta says %d entries, leaves hold %d", entries, leafEntries)
+	}
+
+	// Leaf chain must visit exactly the reachable leaves, left to right.
+	chainPos := map[uint32]int{}
+	for i, l := range leaves {
+		chainPos[l] = i
+	}
+	cur := leaves[0]
+	count := 0
+	prevLast := int64(-1 << 62)
+	for cur != invalidPage {
+		pos, ok := chainPos[cur]
+		if !ok {
+			return fmt.Errorf("index: leaf chain reaches unreachable page %d", cur)
+		}
+		if pos != count {
+			return fmt.Errorf("index: leaf chain order broken at page %d (pos %d, want %d)", cur, pos, count)
+		}
+		id := storage.PageID{File: t.fid, Page: cur}
+		p, err := pg.Fetch(id, storage.RandHint)
+		if err != nil {
+			return err
+		}
+		n := numKeys(p)
+		if n > 0 {
+			if leafKey(p, 0) < prevLast {
+				pg.Unpin(id, false)
+				return fmt.Errorf("index: leaf chain keys regress at page %d", cur)
+			}
+			prevLast = leafKey(p, n-1)
+		}
+		next := nextLeaf(p)
+		pg.Unpin(id, false)
+		cur = next
+		count++
+		if count > len(leaves) {
+			return fmt.Errorf("index: leaf chain longer than leaf count (cycle)")
+		}
+	}
+	if count != len(leaves) {
+		return fmt.Errorf("index: leaf chain visits %d of %d leaves", count, len(leaves))
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}})
+	b := []float64{3, -1, 7}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if !approx(x[i], b[i], 1e-12) {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], b[i])
+		}
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1  ->  x = 2, y = 1
+	a := FromRows([][]float64{{2, 1}, {1, -1}})
+	x, err := Solve(a, []float64{5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 2, 1e-12) || !approx(x[1], 1, 1e-12) {
+		t.Errorf("got %v, want [2 1]", x)
+	}
+}
+
+func TestSolveRequiresPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 3, 1e-12) || !approx(x[1], 2, 1e-12) {
+		t.Errorf("got %v, want [3 2]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("expected non-square error")
+	}
+	sq := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := Solve(sq, []float64{1}); err == nil {
+		t.Error("expected rhs-length error")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	aCopy := append([]float64(nil), a.Data...)
+	bCopy := append([]float64(nil), b...)
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range aCopy {
+		if a.Data[i] != aCopy[i] {
+			t.Fatal("Solve mutated a")
+		}
+	}
+	for i := range bCopy {
+		if b[i] != bCopy[i] {
+			t.Fatal("Solve mutated b")
+		}
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square, consistent system should reduce to the exact solution.
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	x, err := LeastSquares(a, []float64{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 2, 1e-9) || !approx(x[1], 3, 1e-9) {
+		t.Errorf("got %v, want [2 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2t + 1 through noisy-free points: exact fit expected.
+	ts := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(ts))
+	b := make([]float64, len(ts))
+	for i, tt := range ts {
+		rows[i] = []float64{tt, 1}
+		b[i] = 2*tt + 1
+	}
+	x, err := LeastSquares(FromRows(rows), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 2, 1e-9) || !approx(x[1], 1, 1e-9) {
+		t.Errorf("fit = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresMinimizesResidual(t *testing.T) {
+	// Inconsistent system: check the solution beats nearby perturbations.
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{1, 1, 0}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Norm2(Residual(a, x, b))
+	for _, d := range [][]float64{{0.01, 0}, {-0.01, 0}, {0, 0.01}, {0, -0.01}} {
+		y := []float64{x[0] + d[0], x[1] + d[1]}
+		if Norm2(Residual(a, y, b)) < base-1e-12 {
+			t.Errorf("perturbation %v has smaller residual than LS solution", d)
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}})
+	if _, err := LeastSquares(a, []float64{1}); err == nil {
+		t.Error("expected under-determined error")
+	}
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("expected rhs-length error")
+	}
+}
+
+func TestMulVecAndResidual(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	y := a.MulVec([]float64{1, 1})
+	if y[0] != 3 || y[1] != 7 {
+		t.Errorf("MulVec = %v, want [3 7]", y)
+	}
+	r := Residual(a, []float64{1, 1}, []float64{3, 7})
+	if Norm2(r) != 0 {
+		t.Errorf("residual = %v, want zero", r)
+	}
+}
+
+func TestMatrixAccessors(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 {
+		t.Error("Set/At roundtrip failed")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 9)
+	if m.At(0, 0) == 9 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on ragged rows")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {1}})
+}
+
+// Property: for random well-conditioned systems, Solve returns x with
+// a*x ~= b.
+func TestSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			a.Set(i, i, a.At(i, i)+float64(n)) // diagonal dominance
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64()
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !approx(got[i], want[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func approx(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

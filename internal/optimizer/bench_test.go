@@ -1,0 +1,63 @@
+package optimizer
+
+import (
+	"testing"
+
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+)
+
+func benchPlan(b *testing.B, src string) {
+	b.Helper()
+	cat := fixture(b)
+	sel, err := sql.ParseSelect(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := plan.Bind(sel, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(q, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizePointLookup(b *testing.B) {
+	benchPlan(b, "SELECT o_total FROM orders WHERE o_orderkey = 42")
+}
+
+func BenchmarkOptimizeThreeWayJoin(b *testing.B) {
+	benchPlan(b, `SELECT count(*) FROM customer, orders, lineitem
+		WHERE c_custkey = o_custkey AND l_orderkey = o_orderkey
+		  AND c_mktsegment = 'BUILDING' AND o_orderdate < date '1995-01-01'`)
+}
+
+func BenchmarkOptimizeAggregation(b *testing.B) {
+	benchPlan(b, `SELECT c_mktsegment, count(*), sum(o_total)
+		FROM customer, orders WHERE c_custkey = o_custkey
+		GROUP BY c_mktsegment ORDER BY 2 DESC LIMIT 3`)
+}
+
+func BenchmarkSelectivityEstimation(b *testing.B) {
+	cat := fixture(b)
+	sel, err := sql.ParseSelect(
+		`SELECT o_total FROM orders WHERE o_orderkey < 2500 AND o_total BETWEEN 10 AND 500 AND o_comment LIKE 'c%'`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q, err := plan.Bind(sel, cat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range q.Where {
+			selectivity(c.E, q)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"dbvirt/internal/plan"
+)
+
+// Plan is an optimized physical plan together with the query and parameter
+// vector it was planned under.
+type Plan struct {
+	Root   Node
+	Query  *plan.Query
+	Params Params
+}
+
+// TotalCost returns the plan cost in seq-page units (additive, as used
+// for plan ranking).
+func (p *Plan) TotalCost() float64 { return p.Root.Cost().Total }
+
+// EstimatedSeconds converts the plan cost to estimated execution seconds
+// under the calibrated resource allocation, blending the CPU and I/O cost
+// components with the machine's calibrated overlap factor.
+func (p *Plan) EstimatedSeconds() float64 { return p.Params.EstimateSeconds(p.Root.Cost()) }
+
+// Optimize plans a bound query under the given parameter vector. This is
+// the virtualization-aware what-if entry point: nothing is executed, and
+// the same query can be re-planned under the calibrated P(R) of any
+// candidate resource allocation.
+func Optimize(q *plan.Query, p Params) (*Plan, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	var root Node
+	var err error
+	if q.OuterTree != nil {
+		root, err = optimizeFixed(q, p)
+	} else {
+		root, err = optimizeJoins(q, p)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if q.Grouped {
+		root = newHashAgg(root, q.GroupBy, q.Aggs, q, p)
+		if q.Having != nil {
+			root = newFilter(root, []plan.Conjunct{{E: q.Having, Rels: plan.RelsOf(q.Having)}}, q, p)
+		}
+	}
+
+	root = newProject(root, q.Select, q, p)
+
+	if q.Distinct {
+		visible := 0
+		for _, c := range q.Select {
+			if !c.Hidden {
+				visible++
+			}
+		}
+		if visible < len(q.Select) {
+			return nil, fmt.Errorf("optimizer: DISTINCT with ORDER BY keys outside the select list is not supported")
+		}
+		root = newDistinct(root, visible, p)
+	}
+
+	if len(q.OrderBy) > 0 {
+		keys := make([]SortKey, len(q.OrderBy))
+		for i, ok := range q.OrderBy {
+			keys[i] = SortKey{Col: ok.Col, Desc: ok.Desc}
+		}
+		root = newSort(root, keys, p)
+	}
+
+	if q.Limit != nil {
+		root = newLimit(root, *q.Limit, p)
+	}
+
+	return &Plan{Root: root, Query: q, Params: p}, nil
+}

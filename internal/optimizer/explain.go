@@ -1,0 +1,87 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"dbvirt/internal/plan"
+)
+
+// Explain renders the plan tree in a PostgreSQL-like format, with
+// estimated cost (in seq-page units) and row counts per node.
+func (p *Plan) Explain() string {
+	var sb strings.Builder
+	explainNode(&sb, p.Root, 0)
+	if p.Params.TimePerSeqPage > 0 {
+		fmt.Fprintf(&sb, "estimated time: %.4fs (time/seq-page %.3gs)\n",
+			p.EstimatedSeconds(), p.Params.TimePerSeqPage)
+	}
+	return sb.String()
+}
+
+func explainNode(sb *strings.Builder, n Node, depth int) {
+	explainNodeAnnotated(sb, n, depth, nil)
+}
+
+// ExplainAnnotated renders the plan tree with extra per-node text from the
+// annotate callback — used by EXPLAIN ANALYZE to attach actual row counts.
+func (p *Plan) ExplainAnnotated(annotate func(Node) string) string {
+	var sb strings.Builder
+	explainNodeAnnotated(&sb, p.Root, 0, annotate)
+	return sb.String()
+}
+
+func explainNodeAnnotated(sb *strings.Builder, n Node, depth int, annotate func(Node) string) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(sb, "%s-> %s (cost=%s rows=%.0f)", indent, n.name(), n.Cost(), n.Rows())
+	for _, d := range n.detail() {
+		fmt.Fprintf(sb, " [%s]", d)
+	}
+	if annotate != nil {
+		if extra := annotate(n); extra != "" {
+			fmt.Fprintf(sb, " (%s)", extra)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, c := range n.children() {
+		explainNodeAnnotated(sb, c, depth+1, annotate)
+	}
+}
+
+// conjString renders a conjunct list.
+func conjString(conjs []plan.Conjunct) string {
+	var parts []string
+	for _, c := range conjs {
+		parts = append(parts, c.E.String())
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// exprList renders an expression list.
+func exprList(exprs []plan.Expr) string {
+	var parts []string
+	for _, e := range exprs {
+		parts = append(parts, e.String())
+	}
+	return strings.Join(parts, ", ")
+}
+
+// rangeString renders index scan bounds.
+func rangeString(lo, hi *Bound) string {
+	switch {
+	case lo != nil && hi != nil && lo.Key == hi.Key:
+		return fmt.Sprintf(" key=%d", lo.Key)
+	case lo != nil && hi != nil:
+		return fmt.Sprintf(" key in [%d, %d]", lo.Key, hi.Key)
+	case lo != nil:
+		return fmt.Sprintf(" key >= %d", lo.Key)
+	case hi != nil:
+		return fmt.Sprintf(" key <= %d", hi.Key)
+	default:
+		return ""
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+
+func join(parts []string, sep string) string { return strings.Join(parts, sep) }

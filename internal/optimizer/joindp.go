@@ -1,0 +1,475 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+)
+
+// dpRelLimit is the largest relation count optimized by exhaustive
+// dynamic programming; larger queries fall back to a greedy heuristic.
+const dpRelLimit = 13
+
+// joinOptimizer carries state for one enumeration.
+type joinOptimizer struct {
+	q *plan.Query
+	p Params
+
+	singleConjs [][]plan.Conjunct // per relation
+	multiConjs  []plan.Conjunct   // spanning >= 2 relations
+	zeroConjs   []plan.Conjunct   // constant predicates, applied at the top
+
+	rowsMemo map[plan.RelSet]float64
+	leaves   []Node // best access path per relation, shared by dp and greedy
+}
+
+// optimizeJoins produces the cheapest join tree for an inner-join query.
+func optimizeJoins(q *plan.Query, p Params) (Node, error) {
+	jo := &joinOptimizer{q: q, p: p, rowsMemo: make(map[plan.RelSet]float64)}
+	jo.singleConjs = make([][]plan.Conjunct, len(q.Rels))
+	for _, c := range q.Where {
+		switch c.Rels.Count() {
+		case 0:
+			jo.zeroConjs = append(jo.zeroConjs, c)
+		case 1:
+			for i := range q.Rels {
+				if c.Rels.Has(i) {
+					jo.singleConjs[i] = append(jo.singleConjs[i], c)
+				}
+			}
+		default:
+			jo.multiConjs = append(jo.multiConjs, c)
+		}
+	}
+
+	jo.leaves = make([]Node, len(q.Rels))
+	for i, rel := range q.Rels {
+		node, err := bestAccessPath(rel, jo.singleConjs[i], q, p)
+		if err != nil {
+			return nil, err
+		}
+		jo.leaves[i] = node
+	}
+
+	var root Node
+	var err error
+	if len(q.Rels) <= dpRelLimit {
+		root, err = jo.dp()
+	} else {
+		root, err = jo.greedy()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(jo.zeroConjs) > 0 {
+		root = newFilter(root, jo.zeroConjs, q, p)
+	}
+	return root, nil
+}
+
+// rows returns the plan-independent cardinality estimate for a subset.
+func (jo *joinOptimizer) rows(s plan.RelSet) float64 {
+	if r, ok := jo.rowsMemo[s]; ok {
+		return r
+	}
+	rows := 1.0
+	for i := range jo.q.Rels {
+		if !s.Has(i) {
+			continue
+		}
+		if jo.q.Rels[i].Sub != nil && jo.leaves != nil {
+			// Derived tables: the leaf node's estimate already includes
+			// pushed-down filters.
+			rows *= jo.leaves[i].Rows()
+			continue
+		}
+		base := float64(statsFor(jo.q.Rels[i]).NumRows)
+		rows *= base * conjunctsSelectivity(jo.singleConjs[i], jo.q)
+	}
+	for _, c := range jo.multiConjs {
+		if c.Rels.SubsetOf(s) {
+			rows *= selectivity(c.E, jo.q)
+		}
+	}
+	if rows < 0 {
+		rows = 0
+	}
+	jo.rowsMemo[s] = rows
+	return rows
+}
+
+// newConjuncts returns the multi-relation conjuncts first applicable when
+// joining a and b (subset of a∪b but of neither side alone).
+func (jo *joinOptimizer) newConjuncts(a, b plan.RelSet) []plan.Conjunct {
+	var out []plan.Conjunct
+	s := a | b
+	for _, c := range jo.multiConjs {
+		if c.Rels.SubsetOf(s) && !c.Rels.SubsetOf(a) && !c.Rels.SubsetOf(b) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// equiKey describes one hash-joinable equality conjunct between the two
+// sides.
+type equiKey struct {
+	leftE, rightE plan.Expr
+	conjIdx       int
+	rightCol      *plan.ColRef // set when the right side is a bare column
+}
+
+// splitEquiKeys partitions conjuncts into hash keys (left side over a,
+// right side over b) and residual predicates.
+func splitEquiKeys(conjs []plan.Conjunct, a, b plan.RelSet) (keys []equiKey, residual []plan.Conjunct) {
+	for i, c := range conjs {
+		bin, ok := c.E.(*plan.Bin)
+		if !ok || bin.Op != sql.OpEq {
+			residual = append(residual, c)
+			continue
+		}
+		lRels, rRels := plan.RelsOf(bin.L), plan.RelsOf(bin.R)
+		switch {
+		case lRels != 0 && rRels != 0 && lRels.SubsetOf(a) && rRels.SubsetOf(b):
+			k := equiKey{leftE: bin.L, rightE: bin.R, conjIdx: i}
+			if col, isCol := bin.R.(*plan.ColRef); isCol {
+				k.rightCol = col
+			}
+			keys = append(keys, k)
+		case lRels != 0 && rRels != 0 && rRels.SubsetOf(a) && lRels.SubsetOf(b):
+			k := equiKey{leftE: bin.R, rightE: bin.L, conjIdx: i}
+			if col, isCol := bin.L.(*plan.ColRef); isCol {
+				k.rightCol = col
+			}
+			keys = append(keys, k)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	return keys, residual
+}
+
+// candidateJoins builds every physical join of outer (over set a) with
+// inner (over set b) and returns the cheapest.
+func (jo *joinOptimizer) bestJoin(outer Node, a plan.RelSet, inner Node, b plan.RelSet) Node {
+	conjs := jo.newConjuncts(a, b)
+	rows := jo.rows(a | b)
+	keys, residual := splitEquiKeys(conjs, a, b)
+
+	var best Node = newNLJoin(sql.InnerJoin, outer, inner, conjs, rows, jo.q, jo.p)
+
+	if len(keys) > 0 {
+		var lks, rks []plan.Expr
+		for _, k := range keys {
+			lks = append(lks, k.leftE)
+			rks = append(rks, k.rightE)
+		}
+		hj := newHashJoin(sql.InnerJoin, outer, inner, lks, rks, residual, rows, false, jo.q, jo.p)
+		if hj.Cost().Total < best.Cost().Total {
+			best = hj
+		}
+	}
+
+	// Merge join: all keys must be bare columns. Children that are index
+	// scans over a single join-key column already stream in key order;
+	// anything else gets an explicit sort.
+	if len(keys) > 0 {
+		if mj := jo.tryMergeJoin(outer, inner, keys, residual, rows); mj != nil {
+			if mj.Cost().Total < best.Cost().Total {
+				best = mj
+			}
+		}
+	}
+
+	// Index nested loops: inner side must be a single base relation with
+	// an index on one equi-key column.
+	if b.Count() == 1 {
+		var innerRel *plan.Rel
+		for i := range jo.q.Rels {
+			if b.Has(i) {
+				innerRel = jo.q.Rels[i]
+			}
+		}
+		for ki, k := range keys {
+			if k.rightCol == nil || k.rightCol.Rel != innerRel.Idx {
+				continue
+			}
+			ix := innerRel.Table.IndexOn(k.rightCol.Col)
+			if ix == nil {
+				continue
+			}
+			// Residual: everything except this key.
+			var resid []plan.Conjunct
+			resid = append(resid, residual...)
+			for kj, other := range keys {
+				if kj != ki {
+					resid = append(resid, conjs[other.conjIdx])
+				}
+			}
+			inj := newIndexNLJoin(sql.InnerJoin, outer, innerRel, ix, k.leftE,
+				jo.singleConjs[innerRel.Idx], resid, rows, jo.q, jo.p)
+			if inj.Cost().Total < best.Cost().Total {
+				best = inj
+			}
+		}
+	}
+	return best
+}
+
+// tryMergeJoin builds a merge-join candidate if every equi key is a bare
+// column reference, or nil otherwise.
+func (jo *joinOptimizer) tryMergeJoin(outer, inner Node, keys []equiKey, residual []plan.Conjunct, rows float64) Node {
+	leftCols := make([]int, 0, len(keys))
+	rightCols := make([]int, 0, len(keys))
+	for _, k := range keys {
+		lc, lok := k.leftE.(*plan.ColRef)
+		rc, rok := k.rightE.(*plan.ColRef)
+		if !lok || !rok {
+			return nil
+		}
+		lo, err := outer.Layout().Offset(lc)
+		if err != nil {
+			return nil
+		}
+		ro, err := inner.Layout().Offset(rc)
+		if err != nil {
+			return nil
+		}
+		leftCols = append(leftCols, lo)
+		rightCols = append(rightCols, ro)
+	}
+	left := ensureSorted(outer, leftCols, jo.p)
+	right := ensureSorted(inner, rightCols, jo.p)
+	return newMergeJoin(sql.InnerJoin, left, right, leftCols, rightCols, residual, rows, jo.q, jo.p)
+}
+
+// ensureSorted returns the node unchanged when it already streams in the
+// required key order (an index scan over the single key column), and
+// wraps it in a Sort otherwise.
+func ensureSorted(n Node, cols []int, p Params) Node {
+	if len(cols) == 1 {
+		if is, ok := n.(*IndexScan); ok && is.Index.Col == cols[0] {
+			return n // B+-tree range scans deliver ascending key order
+		}
+	}
+	keys := make([]SortKey, len(cols))
+	for i, c := range cols {
+		keys[i] = SortKey{Col: c}
+	}
+	return newSort(n, keys, p)
+}
+
+// dp runs System-R style dynamic programming over relation subsets.
+func (jo *joinOptimizer) dp() (Node, error) {
+	n := len(jo.q.Rels)
+	full := plan.RelSet(1)<<uint(n) - 1
+	best := make(map[plan.RelSet]Node, 1<<uint(n))
+
+	for i := 0; i < n; i++ {
+		s := plan.NewRelSet(i)
+		best[s] = jo.leaves[i]
+	}
+
+	for size := 2; size <= n; size++ {
+		for s := plan.RelSet(1); s <= full; s++ {
+			if s.Count() != size {
+				continue
+			}
+			var cheapest Node
+			connected := false
+			// First pass: connected splits only.
+			for _, crossOK := range []bool{false, true} {
+				if crossOK && connected {
+					break
+				}
+				for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
+					rest := s &^ sub
+					lp, lok := best[sub]
+					rp, rok := best[rest]
+					if !lok || !rok {
+						continue
+					}
+					if !crossOK && len(jo.newConjuncts(sub, rest)) == 0 {
+						continue
+					}
+					connected = connected || !crossOK
+					cand := jo.bestJoin(lp, sub, rp, rest)
+					if cheapest == nil || cand.Cost().Total < cheapest.Cost().Total {
+						cheapest = cand
+					}
+				}
+			}
+			if cheapest != nil {
+				best[s] = cheapest
+			}
+		}
+	}
+	root, ok := best[full]
+	if !ok {
+		return nil, fmt.Errorf("optimizer: no plan found for %d relations", n)
+	}
+	return root, nil
+}
+
+// greedy joins the pair with the smallest estimated result until one tree
+// remains; used beyond the DP relation limit.
+func (jo *joinOptimizer) greedy() (Node, error) {
+	type entry struct {
+		node Node
+		set  plan.RelSet
+	}
+	var items []entry
+	for i := range jo.q.Rels {
+		items = append(items, entry{
+			node: jo.leaves[i],
+			set:  plan.NewRelSet(i),
+		})
+	}
+	for len(items) > 1 {
+		bi, bj := -1, -1
+		bestCost := math.Inf(1)
+		var bestNode Node
+		for _, connectedOnly := range []bool{true, false} {
+			for i := 0; i < len(items); i++ {
+				for j := 0; j < len(items); j++ {
+					if i == j {
+						continue
+					}
+					if connectedOnly && len(jo.newConjuncts(items[i].set, items[j].set)) == 0 {
+						continue
+					}
+					cand := jo.bestJoin(items[i].node, items[i].set, items[j].node, items[j].set)
+					if cand.Cost().Total < bestCost {
+						bestCost = cand.Cost().Total
+						bestNode = cand
+						bi, bj = i, j
+					}
+				}
+			}
+			if bi >= 0 {
+				break
+			}
+		}
+		if bi < 0 {
+			return nil, fmt.Errorf("optimizer: greedy join failed")
+		}
+		merged := entry{node: bestNode, set: items[bi].set | items[bj].set}
+		var next []entry
+		for k, it := range items {
+			if k != bi && k != bj {
+				next = append(next, it)
+			}
+		}
+		items = append(next, merged)
+	}
+	return items[0].node, nil
+}
+
+// --- fixed join trees (outer joins) ---
+
+// buildFixedTree builds the physical plan for a query whose join shape is
+// fixed by outer joins. pushed carries predicates from above that may be
+// pushed toward the leaves when semantics allow.
+func (jo *joinOptimizer) buildFixedTree(t *plan.JoinTree, pushed []plan.Conjunct) (Node, error) {
+	if t.Rel != nil {
+		var mine, above []plan.Conjunct
+		leafSet := plan.NewRelSet(t.Rel.Idx)
+		for _, c := range pushed {
+			if c.Rels.SubsetOf(leafSet) {
+				mine = append(mine, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+		node, err := bestAccessPath(t.Rel, mine, jo.q, jo.p)
+		if err != nil {
+			return nil, err
+		}
+		if len(above) > 0 {
+			return nil, fmt.Errorf("optimizer: internal error: unpushable conjunct at leaf")
+		}
+		return node, nil
+	}
+
+	leftSet, rightSet := t.Left.Rels(), t.Right.Rels()
+	var pushLeft, pushRight, stay []plan.Conjunct
+
+	// ON conjuncts: for INNER joins single-side conjuncts may be pushed;
+	// for LEFT joins only right-side (nullable-side) ON conjuncts may be
+	// pushed — left-only ON conjuncts decide matching, not filtering.
+	for _, c := range t.On {
+		switch {
+		case c.Rels.SubsetOf(rightSet):
+			pushRight = append(pushRight, c)
+		case t.Type == sql.InnerJoin && c.Rels.SubsetOf(leftSet):
+			pushLeft = append(pushLeft, c)
+		default:
+			stay = append(stay, c)
+		}
+	}
+	// Pushed predicates from above (WHERE): pushing into the left side is
+	// always safe; pushing into the nullable right side of a LEFT join is
+	// not.
+	var applyHere []plan.Conjunct
+	for _, c := range pushed {
+		switch {
+		case c.Rels.SubsetOf(leftSet):
+			pushLeft = append(pushLeft, c)
+		case t.Type == sql.InnerJoin && c.Rels.SubsetOf(rightSet):
+			pushRight = append(pushRight, c)
+		default:
+			applyHere = append(applyHere, c)
+		}
+	}
+
+	left, err := jo.buildFixedTree(t.Left, pushLeft)
+	if err != nil {
+		return nil, err
+	}
+	right, err := jo.buildFixedTree(t.Right, pushRight)
+	if err != nil {
+		return nil, err
+	}
+
+	keys, residual := splitEquiKeys(stay, leftSet, rightSet)
+	sel := conjunctsSelectivity(stay, jo.q)
+	rows := joinRows(t.Type, left.Rows(), right.Rows(), sel)
+
+	var node Node
+	if len(keys) > 0 {
+		var lks, rks []plan.Expr
+		for _, k := range keys {
+			lks = append(lks, k.leftE)
+			rks = append(rks, k.rightE)
+		}
+		// Try both build sides and keep the cheaper (for LEFT joins the
+		// reversed build is PostgreSQL's Hash Right Join).
+		normal := newHashJoin(t.Type, left, right, lks, rks, residual, rows, false, jo.q, jo.p)
+		reversed := newHashJoin(t.Type, left, right, lks, rks, residual, rows, true, jo.q, jo.p)
+		if reversed.Cost().Total < normal.Cost().Total {
+			node = reversed
+		} else {
+			node = normal
+		}
+	} else {
+		node = newNLJoin(t.Type, left, right, stay, rows, jo.q, jo.p)
+	}
+	if len(applyHere) > 0 {
+		node = newFilter(node, applyHere, jo.q, jo.p)
+	}
+	return node, nil
+}
+
+// optimizeFixed plans a query with outer joins: the tree shape is kept,
+// WHERE predicates are pushed as deep as semantics allow.
+func optimizeFixed(q *plan.Query, p Params) (Node, error) {
+	jo := &joinOptimizer{q: q, p: p, rowsMemo: make(map[plan.RelSet]float64)}
+	jo.singleConjs = make([][]plan.Conjunct, len(q.Rels))
+	root, err := jo.buildFixedTree(q.OuterTree, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}

@@ -1,0 +1,191 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"dbvirt/internal/catalog"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+	"dbvirt/internal/types"
+)
+
+// keyRange is an int64 interval extracted from predicates on an indexed
+// column, together with which conjuncts it absorbed.
+type keyRange struct {
+	lo, hi     *Bound
+	used       map[int]bool // conjunct list indexes absorbed by the range
+	impossible bool         // contradictory (e.g. col = 2.5 on an int column)
+}
+
+func (r *keyRange) tightenLo(k int64) {
+	if r.lo == nil || k > r.lo.Key {
+		r.lo = &Bound{Key: k}
+	}
+}
+
+func (r *keyRange) tightenHi(k int64) {
+	if r.hi == nil || k < r.hi.Key {
+		r.hi = &Bound{Key: k}
+	}
+}
+
+func (r *keyRange) bounded() bool { return r.lo != nil || r.hi != nil }
+
+// extractRange inspects the conjuncts for bounds on the index column of
+// rel's index ix.
+func extractRange(rel *plan.Rel, ix *catalog.Index, conjs []plan.Conjunct) keyRange {
+	r := keyRange{used: make(map[int]bool)}
+	for i, c := range conjs {
+		if absorb(&r, rel, ix, c.E) {
+			r.used[i] = true
+		}
+	}
+	return r
+}
+
+// absorb updates r if e is a usable bound on the index column, reporting
+// whether e was fully absorbed.
+func absorb(r *keyRange, rel *plan.Rel, ix *catalog.Index, e plan.Expr) bool {
+	onIndexCol := func(ex plan.Expr) bool {
+		col, ok := ex.(*plan.ColRef)
+		return ok && col.Rel == rel.Idx && col.Col == ix.Col
+	}
+	switch x := e.(type) {
+	case *plan.Bin:
+		if !x.Op.Comparison() || x.Op == sql.OpNe {
+			return false
+		}
+		if onIndexCol(x.L) {
+			if v, ok := constNumeric(x.R); ok {
+				absorbOp(r, x.Op, v)
+				return true
+			}
+			return false
+		}
+		if onIndexCol(x.R) {
+			if v, ok := constNumeric(x.L); ok {
+				absorbOp(r, flipOp(x.Op), v)
+				return true
+			}
+		}
+		return false
+	case *plan.Between:
+		if x.NotB || !onIndexCol(x.E) {
+			return false
+		}
+		lo, okLo := constNumeric(x.Lo)
+		hi, okHi := constNumeric(x.Hi)
+		if !okLo || !okHi {
+			return false
+		}
+		r.tightenLo(ceilToInt(lo))
+		r.tightenHi(floorToInt(hi))
+		return true
+	default:
+		return false
+	}
+}
+
+func constNumeric(e plan.Expr) (float64, bool) {
+	c, ok := e.(*plan.Const)
+	if !ok || c.Val.IsNull() {
+		return 0, false
+	}
+	switch c.Val.Kind {
+	case types.KindInt, types.KindDate, types.KindFloat:
+		f, _ := c.Val.AsFloat()
+		return f, true
+	default:
+		return 0, false
+	}
+}
+
+func floorToInt(v float64) int64 { return int64(math.Floor(v)) }
+func ceilToInt(v float64) int64  { return int64(math.Ceil(v)) }
+
+// absorbOp applies "col op v" with the column on the left.
+func absorbOp(r *keyRange, op sql.BinaryOp, v float64) {
+	switch op {
+	case sql.OpEq:
+		if v != math.Trunc(v) {
+			r.impossible = true
+			return
+		}
+		k := int64(v)
+		r.tightenLo(k)
+		r.tightenHi(k)
+	case sql.OpLt:
+		r.tightenHi(ceilToInt(v) - 1)
+	case sql.OpLe:
+		r.tightenHi(floorToInt(v))
+	case sql.OpGt:
+		r.tightenLo(floorToInt(v) + 1)
+	case sql.OpGe:
+		r.tightenLo(ceilToInt(v))
+	}
+}
+
+// rangeSelectivity estimates the fraction of rows inside the key range
+// using the column's statistics.
+func rangeSelectivity(rel *plan.Rel, ix *catalog.Index, r keyRange, q *plan.Query) float64 {
+	if r.impossible {
+		return 0
+	}
+	if r.lo != nil && r.hi != nil && r.lo.Key > r.hi.Key {
+		return 0
+	}
+	cs := statsFor(rel).Cols[ix.Col]
+	// Point lookup: use equality selectivity (a histogram interval of
+	// zero width would otherwise estimate zero rows).
+	if r.lo != nil && r.hi != nil && r.lo.Key == r.hi.Key {
+		return eqSelectivity(cs, float64(r.lo.Key))
+	}
+	sel := 1.0
+	if r.hi != nil {
+		sel = ltSelectivity(cs, float64(r.hi.Key), true)
+	} else {
+		sel = clampSel(1 - cs.NullFrac)
+	}
+	if r.lo != nil {
+		sel -= ltSelectivity(cs, float64(r.lo.Key), false)
+	}
+	return clampSel(sel)
+}
+
+// bestAccessPath chooses the cheapest way to read rel under the given
+// single-relation conjuncts: a filtered sequential scan, an index scan
+// for any index whose column has usable bounds, or — for derived tables —
+// a scan over the independently optimized subquery.
+func bestAccessPath(rel *plan.Rel, conjs []plan.Conjunct, q *plan.Query, p Params) (Node, error) {
+	if rel.Sub != nil {
+		inner, err := Optimize(rel.Sub, p)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: derived table %q: %w", rel.Name, err)
+		}
+		var node Node = newSubqueryScan(rel, inner, p)
+		if len(conjs) > 0 {
+			node = newFilter(node, conjs, q, p)
+		}
+		return node, nil
+	}
+	var best Node = newSeqScan(rel, conjs, q, p)
+	for _, ix := range rel.Table.Indexes {
+		r := extractRange(rel, ix, conjs)
+		if !r.bounded() && !r.impossible {
+			continue
+		}
+		var residual []plan.Conjunct
+		for i, c := range conjs {
+			if !r.used[i] {
+				residual = append(residual, c)
+			}
+		}
+		sel := rangeSelectivity(rel, ix, r, q)
+		cand := newIndexScan(rel, ix, r.lo, r.hi, sel, residual, q, p)
+		if cand.Cost().Total < best.Cost().Total {
+			best = cand
+		}
+	}
+	return best, nil
+}

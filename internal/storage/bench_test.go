@@ -1,0 +1,69 @@
+package storage
+
+import (
+	"testing"
+
+	"dbvirt/internal/types"
+)
+
+func benchTuple() Tuple {
+	return Tuple{
+		types.NewInt(123456), types.NewFloat(98.76),
+		types.NewString("a medium length string payload"),
+		types.NewDate(9000), types.NewBool(true),
+	}
+}
+
+func BenchmarkEncodeTuple(b *testing.B) {
+	t := benchTuple()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeTuple(t)
+	}
+}
+
+func BenchmarkDecodeTuple(b *testing.B) {
+	enc := EncodeTuple(benchTuple())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeTuple(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	d := NewDiskManager()
+	pg := NewDirectPager(d)
+	h := NewHeapFile(d.CreateFile())
+	t := benchTuple()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(pg, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	d := NewDiskManager()
+	pg := NewDirectPager(d)
+	h := NewHeapFile(d.CreateFile())
+	t := benchTuple()
+	for i := 0; i < 10000; i++ {
+		if _, err := h.Insert(pg, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := h.Scan(pg, func(TID, Tuple) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatal("scan lost rows")
+		}
+	}
+	b.ReportMetric(10000*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

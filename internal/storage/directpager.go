@@ -1,0 +1,72 @@
+package storage
+
+import "fmt"
+
+// DirectPager is a trivial Pager that reads and writes the disk directly
+// with no caching and no cost accounting. It is used by unit tests of the
+// storage structures and by tools that need raw access outside any VM.
+// It also verifies pin discipline: Unpin without a matching Fetch panics.
+type DirectPager struct {
+	Disk   *DiskManager
+	pinned map[PageID]*pinEntry
+}
+
+type pinEntry struct {
+	data *PageData
+	pins int
+}
+
+// NewDirectPager creates a DirectPager over the given disk.
+func NewDirectPager(d *DiskManager) *DirectPager {
+	return &DirectPager{Disk: d, pinned: make(map[PageID]*pinEntry)}
+}
+
+// Fetch implements Pager.
+func (p *DirectPager) Fetch(id PageID, _ AccessHint) (*PageData, error) {
+	if e, ok := p.pinned[id]; ok {
+		e.pins++
+		return e.data, nil
+	}
+	buf := new(PageData)
+	if err := p.Disk.ReadPage(id, buf); err != nil {
+		return nil, err
+	}
+	p.pinned[id] = &pinEntry{data: buf, pins: 1}
+	return buf, nil
+}
+
+// Unpin implements Pager, writing back dirty pages immediately.
+func (p *DirectPager) Unpin(id PageID, dirty bool) {
+	e, ok := p.pinned[id]
+	if !ok || e.pins <= 0 {
+		panic(fmt.Sprintf("storage: Unpin of unpinned page %s", id))
+	}
+	if dirty {
+		if err := p.Disk.WritePage(id, e.data); err != nil {
+			panic(err)
+		}
+	}
+	e.pins--
+	if e.pins == 0 {
+		delete(p.pinned, id)
+	}
+}
+
+// Allocate implements Pager.
+func (p *DirectPager) Allocate(f FileID) (PageID, *PageData, error) {
+	pageNo, err := p.Disk.Allocate(f)
+	if err != nil {
+		return PageID{}, nil, err
+	}
+	id := PageID{File: f, Page: pageNo}
+	buf := new(PageData)
+	p.pinned[id] = &pinEntry{data: buf, pins: 1}
+	return id, buf, nil
+}
+
+// NumPages implements Pager.
+func (p *DirectPager) NumPages(f FileID) uint32 { return p.Disk.NumPages(f) }
+
+// PinnedCount returns the number of currently pinned pages; tests use it
+// to assert that every Fetch was matched by an Unpin.
+func (p *DirectPager) PinnedCount() int { return len(p.pinned) }

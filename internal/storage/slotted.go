@@ -1,0 +1,102 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted-page layout (all offsets little-endian uint16):
+//
+//	[0:2]  slot count
+//	[2:4]  free-space start (end of slot array)
+//	[4:6]  free-space end (start of record data, grows downward)
+//	[6:..] slot array: per slot {offset uint16, length uint16}
+//	...    free space ...
+//	[freeEnd:PageSize] record data
+//
+// A slot with offset 0xFFFF is dead (deleted record).
+const (
+	slottedHeaderSize = 6
+	slotSize          = 4
+	deadSlotOffset    = 0xFFFF
+)
+
+// SlottedPage is a view over one page's bytes providing record storage.
+// It does not own the page; mutations must be followed by unpinning the
+// underlying frame as dirty.
+type SlottedPage struct {
+	data *PageData
+}
+
+// NewSlottedPage wraps raw page data. Call Init on freshly allocated pages.
+func NewSlottedPage(data *PageData) *SlottedPage { return &SlottedPage{data: data} }
+
+// Init formats the page as an empty slotted page.
+func (p *SlottedPage) Init() {
+	binary.LittleEndian.PutUint16(p.data[0:], 0)
+	binary.LittleEndian.PutUint16(p.data[2:], slottedHeaderSize)
+	binary.LittleEndian.PutUint16(p.data[4:], PageSize)
+}
+
+// NumSlots returns the number of slots (live and dead).
+func (p *SlottedPage) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.data[0:]))
+}
+
+func (p *SlottedPage) freeStart() int { return int(binary.LittleEndian.Uint16(p.data[2:])) }
+func (p *SlottedPage) freeEnd() int   { return int(binary.LittleEndian.Uint16(p.data[4:])) }
+
+// FreeSpace returns the bytes available for one more record (including its
+// slot entry).
+func (p *SlottedPage) FreeSpace() int {
+	free := p.freeEnd() - p.freeStart() - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores a record and returns its slot number. It fails if the page
+// lacks space.
+func (p *SlottedPage) Insert(rec []byte) (uint16, error) {
+	if len(rec) > p.FreeSpace() {
+		return 0, fmt.Errorf("storage: page full (%d bytes free, need %d)", p.FreeSpace(), len(rec))
+	}
+	slot := p.NumSlots()
+	newEnd := p.freeEnd() - len(rec)
+	copy(p.data[newEnd:], rec)
+	slotOff := slottedHeaderSize + slot*slotSize
+	binary.LittleEndian.PutUint16(p.data[slotOff:], uint16(newEnd))
+	binary.LittleEndian.PutUint16(p.data[slotOff+2:], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p.data[0:], uint16(slot+1))
+	binary.LittleEndian.PutUint16(p.data[2:], uint16(slotOff+slotSize))
+	binary.LittleEndian.PutUint16(p.data[4:], uint16(newEnd))
+	return uint16(slot), nil
+}
+
+// Get returns the record in the given slot, or ok=false if the slot is
+// dead. The returned slice aliases the page; callers must copy or decode
+// before unpinning.
+func (p *SlottedPage) Get(slot uint16) ([]byte, bool, error) {
+	if int(slot) >= p.NumSlots() {
+		return nil, false, fmt.Errorf("storage: slot %d out of range (page has %d)", slot, p.NumSlots())
+	}
+	slotOff := slottedHeaderSize + int(slot)*slotSize
+	off := binary.LittleEndian.Uint16(p.data[slotOff:])
+	if off == deadSlotOffset {
+		return nil, false, nil
+	}
+	length := binary.LittleEndian.Uint16(p.data[slotOff+2:])
+	return p.data[off : int(off)+int(length)], true, nil
+}
+
+// Delete marks the slot dead. Space is not reclaimed (no compaction);
+// the engine's workloads are load-once, so this is sufficient.
+func (p *SlottedPage) Delete(slot uint16) error {
+	if int(slot) >= p.NumSlots() {
+		return fmt.Errorf("storage: slot %d out of range (page has %d)", slot, p.NumSlots())
+	}
+	slotOff := slottedHeaderSize + int(slot)*slotSize
+	binary.LittleEndian.PutUint16(p.data[slotOff:], deadSlotOffset)
+	return nil
+}

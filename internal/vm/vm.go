@@ -1,0 +1,449 @@
+// Package vm simulates a virtual machine monitor (hypervisor) that
+// partitions one physical machine's CPU, memory, and I/O bandwidth among
+// virtual machines according to configurable shares.
+//
+// The simulator is deterministic: instead of consuming real wall-clock
+// time, workloads charge abstract work units (CPU operations, page reads,
+// page writes) to their VM, and the VM converts those units into simulated
+// seconds using the machine's capacity scaled by the VM's resource shares.
+// This mirrors the mechanisms of a share-based hypervisor scheduler such as
+// Xen's credit scheduler: a VM with a 25% CPU share executes CPU work at a
+// quarter of the machine rate, a VM with a 50% I/O share moves pages at
+// half the disk rate, and a VM's memory share bounds how much RAM (buffer
+// pool) it may use.
+//
+// Two second-order effects of real hypervisors are modeled because the
+// paper's measurements depend on them:
+//
+//   - Scheduling overhead: when a VM holds less than the whole CPU, domain
+//     switches, cache pollution, and dispatch latency waste a fraction of
+//     its nominal share. This is the SchedOverhead knob; it makes observed
+//     CPU slowdowns super-linear in 1/share, as in the paper's Figure 4
+//     where TPC-H Q13 doubles its speed going from a 50% to a 75% share.
+//   - Virtualized I/O cost: each I/O request costs extra CPU operations in
+//     the VM (hypercall/domain-crossing overhead), the HypervisorIOOps knob.
+package vm
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Resource identifies one of the physical resources whose share a VM holds.
+type Resource int
+
+// The resources controlled by the virtual machine monitor.
+const (
+	CPU Resource = iota
+	Memory
+	IO
+	NumResources // number of controllable resources
+)
+
+// String returns the conventional lower-case name of the resource.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "cpu"
+	case Memory:
+		return "memory"
+	case IO:
+		return "io"
+	default:
+		return fmt.Sprintf("resource(%d)", int(r))
+	}
+}
+
+// Shares is one VM's fraction of each physical resource. Each component is
+// in (0, 1]. Shares of all VMs on a machine should sum to at most 1 per
+// resource; see Machine.ValidateShares.
+type Shares struct {
+	CPU    float64
+	Memory float64
+	IO     float64
+}
+
+// Equal splits every resource evenly across n virtual machines.
+func Equal(n int) Shares {
+	f := 1.0 / float64(n)
+	return Shares{CPU: f, Memory: f, IO: f}
+}
+
+// Get returns the share of the given resource.
+func (s Shares) Get(r Resource) float64 {
+	switch r {
+	case CPU:
+		return s.CPU
+	case Memory:
+		return s.Memory
+	case IO:
+		return s.IO
+	default:
+		panic("vm: unknown resource " + r.String())
+	}
+}
+
+// With returns a copy of s with the share of resource r replaced by v.
+func (s Shares) With(r Resource, v float64) Shares {
+	switch r {
+	case CPU:
+		s.CPU = v
+	case Memory:
+		s.Memory = v
+	case IO:
+		s.IO = v
+	default:
+		panic("vm: unknown resource " + r.String())
+	}
+	return s
+}
+
+// Valid reports whether every share is in (0, 1].
+func (s Shares) Valid() bool {
+	for r := Resource(0); r < NumResources; r++ {
+		v := s.Get(r)
+		if v <= 0 || v > 1 || math.IsNaN(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the shares as percentages.
+func (s Shares) String() string {
+	return fmt.Sprintf("cpu=%.0f%% mem=%.0f%% io=%.0f%%", s.CPU*100, s.Memory*100, s.IO*100)
+}
+
+// MachineConfig describes the capacity of the physical machine underneath
+// the hypervisor. The defaults are loosely modeled on the paper's testbed
+// (dual 2.8 GHz Xeon, 4 GB RAM, a single commodity disk), except that the
+// memory size is an experiment parameter: the interesting regimes occur
+// when some relations exceed the buffer pool.
+type MachineConfig struct {
+	// CPUOpsPerSec is the abstract CPU capacity of the whole machine.
+	CPUOpsPerSec float64
+	// SeqPagesPerSec is the sequential page-read rate of the disk.
+	SeqPagesPerSec float64
+	// RandPagesPerSec is the random page-read rate of the disk.
+	RandPagesPerSec float64
+	// WritePagesPerSec is the page-write rate of the disk.
+	WritePagesPerSec float64
+	// MemBytes is the physical RAM available to be divided among VMs.
+	MemBytes int64
+	// HypervisorIOOps is the CPU-operation cost charged to a VM for every
+	// I/O request, modeling hypercall and domain-crossing overhead.
+	HypervisorIOOps float64
+	// SchedOverhead in [0,1) models scheduler inefficiency at partial CPU
+	// shares: the effective CPU rate of a VM with share s is
+	// CPUOpsPerSec * s * (1 - SchedOverhead*(1-s)). At s=1 there is no
+	// penalty. Larger values make CPU-bound slowdowns super-linear in
+	// 1/s, as observed on real hypervisors.
+	SchedOverhead float64
+	// Overlap in [0,1] is the fraction of CPU and I/O time that can
+	// proceed concurrently (prefetching, asynchronous I/O). 0 means fully
+	// serial execution (elapsed = cpu + io); 1 means perfect overlap
+	// (elapsed = max(cpu, io)).
+	Overlap float64
+}
+
+// DefaultMachineConfig returns the configuration used throughout the
+// experiments: 1e9 abstract ops/s, a 20 MB/s sequential disk (2560 8 KiB
+// pages/s — commodity 2006 hardware under a hypervisor), 120 random
+// pages/s, and 64 MiB of RAM. Memory is scaled down together with the
+// workload data: what matters for the experiments is the ratio between
+// relation sizes and the buffer pool, chosen so the TPC-H-like lineitem
+// relation exceeds a half-machine buffer pool while orders+customer fit,
+// just as the paper's 4 GB database related to its 2 GB VM.
+func DefaultMachineConfig() MachineConfig {
+	return MachineConfig{
+		CPUOpsPerSec:     1e9,
+		SeqPagesPerSec:   2560,
+		RandPagesPerSec:  120,
+		WritePagesPerSec: 2560,
+		MemBytes:         64 << 20,
+		HypervisorIOOps:  2000,
+		SchedOverhead:    0.65,
+		Overlap:          0.75,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c MachineConfig) Validate() error {
+	switch {
+	case c.CPUOpsPerSec <= 0:
+		return fmt.Errorf("vm: CPUOpsPerSec must be positive, got %g", c.CPUOpsPerSec)
+	case c.SeqPagesPerSec <= 0:
+		return fmt.Errorf("vm: SeqPagesPerSec must be positive, got %g", c.SeqPagesPerSec)
+	case c.RandPagesPerSec <= 0:
+		return fmt.Errorf("vm: RandPagesPerSec must be positive, got %g", c.RandPagesPerSec)
+	case c.WritePagesPerSec <= 0:
+		return fmt.Errorf("vm: WritePagesPerSec must be positive, got %g", c.WritePagesPerSec)
+	case c.MemBytes <= 0:
+		return fmt.Errorf("vm: MemBytes must be positive, got %d", c.MemBytes)
+	case c.HypervisorIOOps < 0:
+		return fmt.Errorf("vm: HypervisorIOOps must be non-negative, got %g", c.HypervisorIOOps)
+	case c.SchedOverhead < 0 || c.SchedOverhead >= 1:
+		return fmt.Errorf("vm: SchedOverhead must be in [0,1), got %g", c.SchedOverhead)
+	case c.Overlap < 0 || c.Overlap > 1:
+		return fmt.Errorf("vm: Overlap must be in [0,1], got %g", c.Overlap)
+	}
+	return nil
+}
+
+// Machine is the simulated physical machine. VMs are created on it with
+// NewVM; the machine tracks them so that over-commitment of shares can be
+// detected.
+type Machine struct {
+	cfg MachineConfig
+
+	mu  sync.Mutex
+	vms []*VM
+}
+
+// NewMachine creates a machine with the given configuration.
+func NewMachine(cfg MachineConfig) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// MustMachine is NewMachine that panics on configuration errors; intended
+// for tests and examples with literal configs.
+func MustMachine(cfg MachineConfig) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() MachineConfig { return m.cfg }
+
+// VMs returns the virtual machines created on this machine.
+func (m *Machine) VMs() []*VM {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*VM(nil), m.vms...)
+}
+
+// ValidateShares reports an error if adding a VM with shares s would
+// over-commit any resource, taking the existing VMs into account.
+func (m *Machine) ValidateShares(s Shares) error {
+	if !s.Valid() {
+		return fmt.Errorf("vm: invalid shares %v", s)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.validateSharesLocked(s, nil)
+}
+
+// validateSharesLocked checks total shares with exclude's current shares
+// ignored (used when reconfiguring an existing VM).
+func (m *Machine) validateSharesLocked(s Shares, exclude *VM) error {
+	const eps = 1e-9
+	for r := Resource(0); r < NumResources; r++ {
+		total := s.Get(r)
+		for _, v := range m.vms {
+			if v == exclude {
+				continue
+			}
+			total += v.Shares().Get(r)
+		}
+		if total > 1+eps {
+			return fmt.Errorf("vm: resource %s over-committed: total share %.3f > 1", r, total)
+		}
+	}
+	return nil
+}
+
+// NewVM creates a virtual machine with the given name and resource shares.
+// It fails if the shares are invalid or would over-commit the machine.
+func (m *Machine) NewVM(name string, s Shares) (*VM, error) {
+	if !s.Valid() {
+		return nil, fmt.Errorf("vm: invalid shares %v for %q", s, name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.validateSharesLocked(s, nil); err != nil {
+		return nil, fmt.Errorf("vm: cannot create %q: %w", name, err)
+	}
+	v := &VM{name: name, machine: m, shares: s}
+	m.vms = append(m.vms, v)
+	return v, nil
+}
+
+// Usage is a point-in-time snapshot of a VM's accumulated work, used to
+// measure intervals: take a snapshot, run a workload, and subtract.
+type Usage struct {
+	CPUSeconds float64 // simulated seconds of CPU time
+	IOSeconds  float64 // simulated seconds of I/O time
+	CPUOps     float64 // raw CPU operations charged
+	SeqReads   int64   // sequential page reads
+	RandReads  int64   // random page reads
+	Writes     int64   // page writes
+}
+
+// Elapsed returns the simulated wall-clock seconds corresponding to this
+// usage under the machine's CPU/I-O overlap model.
+func (u Usage) elapsed(overlap float64) float64 {
+	lo := math.Min(u.CPUSeconds, u.IOSeconds)
+	return u.CPUSeconds + u.IOSeconds - overlap*lo
+}
+
+// Sub returns the usage accumulated between snapshot o (earlier) and u.
+func (u Usage) Sub(o Usage) Usage {
+	return Usage{
+		CPUSeconds: u.CPUSeconds - o.CPUSeconds,
+		IOSeconds:  u.IOSeconds - o.IOSeconds,
+		CPUOps:     u.CPUOps - o.CPUOps,
+		SeqReads:   u.SeqReads - o.SeqReads,
+		RandReads:  u.RandReads - o.RandReads,
+		Writes:     u.Writes - o.Writes,
+	}
+}
+
+// VM is a virtual machine: a set of resource shares plus a simulated clock
+// that accumulates the cost of work charged to it. A VM is not safe for
+// concurrent use by multiple goroutines; each simulated workload drives its
+// VM from one goroutine (distinct VMs may run in parallel).
+type VM struct {
+	name    string
+	machine *Machine
+
+	mu     sync.RWMutex // guards shares (reconfigurable at runtime)
+	shares Shares
+
+	usage Usage
+}
+
+// Name returns the VM's name.
+func (v *VM) Name() string { return v.name }
+
+// Machine returns the physical machine hosting this VM.
+func (v *VM) Machine() *Machine { return v.machine }
+
+// Shares returns the VM's current resource shares.
+func (v *VM) Shares() Shares {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.shares
+}
+
+// SetShares reconfigures the VM's resource shares at runtime (the dynamic
+// reallocation mechanism of the paper's Section 7). It fails if the new
+// shares would over-commit the machine.
+func (v *VM) SetShares(s Shares) error {
+	if !s.Valid() {
+		return fmt.Errorf("vm: invalid shares %v for %q", s, v.name)
+	}
+	v.machine.mu.Lock()
+	defer v.machine.mu.Unlock()
+	if err := v.machine.validateSharesLocked(s, v); err != nil {
+		return fmt.Errorf("vm: cannot reconfigure %q: %w", v.name, err)
+	}
+	v.mu.Lock()
+	v.shares = s
+	v.mu.Unlock()
+	return nil
+}
+
+// MemBytes returns the RAM available to this VM: its memory share of the
+// machine's physical memory.
+func (v *VM) MemBytes() int64 {
+	return int64(float64(v.machine.cfg.MemBytes) * v.Shares().Memory)
+}
+
+// effCPURate returns the VM's effective CPU rate in ops/s, including the
+// scheduler-overhead penalty for partial shares.
+func (v *VM) effCPURate() float64 {
+	cfg := v.machine.cfg
+	s := v.Shares().CPU
+	return cfg.CPUOpsPerSec * s * (1 - cfg.SchedOverhead*(1-s))
+}
+
+// AccountCPU charges n abstract CPU operations to the VM.
+func (v *VM) AccountCPU(ops float64) {
+	if ops <= 0 {
+		return
+	}
+	v.usage.CPUOps += ops
+	v.usage.CPUSeconds += ops / v.effCPURate()
+}
+
+// accountIO charges pages of I/O at the given machine rate, plus the
+// hypervisor's per-request CPU overhead.
+func (v *VM) accountIO(pages int, machineRate float64) {
+	if pages <= 0 {
+		return
+	}
+	ioShare := v.Shares().IO
+	v.usage.IOSeconds += float64(pages) / (machineRate * ioShare)
+	v.AccountCPU(v.machine.cfg.HypervisorIOOps * float64(pages))
+}
+
+// AccountSeqRead charges sequential page reads.
+func (v *VM) AccountSeqRead(pages int) {
+	if pages <= 0 {
+		return
+	}
+	v.accountIO(pages, v.machine.cfg.SeqPagesPerSec)
+	v.usage.SeqReads += int64(pages)
+}
+
+// AccountRandRead charges random page reads.
+func (v *VM) AccountRandRead(pages int) {
+	if pages <= 0 {
+		return
+	}
+	v.accountIO(pages, v.machine.cfg.RandPagesPerSec)
+	v.usage.RandReads += int64(pages)
+}
+
+// AccountWrite charges page writes.
+func (v *VM) AccountWrite(pages int) {
+	if pages <= 0 {
+		return
+	}
+	v.accountIO(pages, v.machine.cfg.WritePagesPerSec)
+	v.usage.Writes += int64(pages)
+}
+
+// Snapshot returns the VM's accumulated usage so far.
+func (v *VM) Snapshot() Usage { return v.usage }
+
+// Since returns the usage accumulated since the given snapshot.
+func (v *VM) Since(start Usage) Usage { return v.usage.Sub(start) }
+
+// Elapsed returns the total simulated wall-clock seconds of the VM under
+// the machine's overlap model.
+func (v *VM) Elapsed() float64 { return v.usage.elapsed(v.machine.cfg.Overlap) }
+
+// ElapsedSince returns the simulated wall-clock seconds between the given
+// snapshot and now.
+func (v *VM) ElapsedSince(start Usage) float64 {
+	return v.usage.Sub(start).elapsed(v.machine.cfg.Overlap)
+}
+
+// Rates describes the effective resource rates a VM sees under its current
+// shares; used by the calibration analysis and by tests.
+type Rates struct {
+	CPUOpsPerSec     float64
+	SeqPagesPerSec   float64
+	RandPagesPerSec  float64
+	WritePagesPerSec float64
+}
+
+// EffectiveRates returns the VM's effective rates under its current shares.
+func (v *VM) EffectiveRates() Rates {
+	cfg := v.machine.cfg
+	s := v.Shares()
+	return Rates{
+		CPUOpsPerSec:     v.effCPURate(),
+		SeqPagesPerSec:   cfg.SeqPagesPerSec * s.IO,
+		RandPagesPerSec:  cfg.RandPagesPerSec * s.IO,
+		WritePagesPerSec: cfg.WritePagesPerSec * s.IO,
+	}
+}
