@@ -26,9 +26,11 @@ func main() {
 	ios := flag.String("io", "0.5", "I/O shares to calibrate")
 	quick := flag.Bool("quick", false, "use a small machine and calibration database")
 	jsonPath := flag.String("json", "", "write the calibrated lattice as JSON to this file")
+	jobs := flag.Int("j", 0, "worker-pool size for lattice calibration (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cfg := calibration.DefaultConfig()
+	cfg.Parallelism = *jobs
 	if *quick {
 		cfg.Machine.MemBytes = 8 << 20
 		cfg.NarrowRows = 4000

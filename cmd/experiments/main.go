@@ -22,12 +22,14 @@ func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, or all")
 	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
 	quick := flag.Bool("quick", false, "run at reduced scale")
+	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	env := experiments.DefaultEnv()
 	if *quick {
 		env = experiments.QuickEnv()
 	}
+	env.Parallelism = *jobs
 
 	run := func(name string, fn func() error) {
 		if err := fn(); err != nil {

@@ -42,6 +42,7 @@ func main() {
 	algo := flag.String("algo", "dp", "search algorithm: dp, greedy, or exhaustive")
 	scale := flag.String("scale", "small", "database scale: tiny, small, or experiment")
 	measure := flag.Bool("measure", false, "validate the recommendation by actual execution")
+	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if len(wflags) < 2 {
@@ -82,7 +83,8 @@ func main() {
 		}
 	}
 
-	problem := &core.Problem{Workloads: specs, Resources: res, Step: *step}
+	env.Parallelism = *jobs
+	problem := &core.Problem{Workloads: specs, Resources: res, Step: *step, Parallelism: *jobs}
 	model := &core.WhatIfModel{Cal: env.Calibrator()}
 
 	fmt.Printf("Calibrating and solving (%s, step %.0f%%)...\n", *algo, *step*100)

@@ -30,8 +30,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dbvirt/internal/engine"
 	"dbvirt/internal/linalg"
@@ -60,6 +62,21 @@ type Config struct {
 	RandProbeRows int
 	// Seed makes the synthetic database deterministic.
 	Seed int64
+	// Parallelism bounds the number of worker goroutines CalibrateGrid
+	// fans lattice points out over; 0 (the default) means
+	// runtime.GOMAXPROCS(0), 1 forces serial calibration. Each worker owns
+	// its own calibration database and engine instances, so the simulated
+	// VM clocks never interleave and results are byte-identical to a
+	// serial run.
+	Parallelism int
+}
+
+// workers resolves the configured parallelism to a worker count.
+func (c Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // DefaultConfig calibrates the default machine.
@@ -75,7 +92,11 @@ func DefaultConfig() Config {
 }
 
 // Calibrator owns the synthetic calibration database and a parameter
-// cache. It is safe for concurrent use.
+// cache. It is safe for concurrent use: the database is built once and is
+// read-only afterwards (every measurement session gets its own machine,
+// VM, and buffer pool), the cache is mutex-guarded, and concurrent
+// Calibrate calls for the same allocation join one in-flight measurement
+// (singleflight) instead of repeating it.
 type Calibrator struct {
 	cfg Config
 
@@ -88,14 +109,32 @@ type Calibrator struct {
 	randLo, randHi int64   // key range of the random probe
 	randK          float64 // exact rows matched by the probe
 
-	mu    sync.Mutex
-	cache map[[3]int64]optimizer.Params
+	measures atomic.Int64 // completed measure() runs, for tests/reporting
+
+	mu       sync.Mutex
+	cache    map[[3]int64]optimizer.Params
+	inflight map[[3]int64]*calCall
+}
+
+// calCall is one in-flight calibration; done is closed when p/err are set.
+type calCall struct {
+	done chan struct{}
+	p    optimizer.Params
+	err  error
 }
 
 // New creates a calibrator for the given configuration.
 func New(cfg Config) *Calibrator {
-	return &Calibrator{cfg: cfg, cache: make(map[[3]int64]optimizer.Params)}
+	return &Calibrator{
+		cfg:      cfg,
+		cache:    make(map[[3]int64]optimizer.Params),
+		inflight: make(map[[3]int64]*calCall),
+	}
 }
+
+// Measurements returns how many full probe suites this calibrator has run
+// (cache hits and joined duplicate requests do not count).
+func (c *Calibrator) Measurements() int64 { return c.measures.Load() }
 
 // Config returns the calibrator's configuration.
 func (c *Calibrator) Config() Config { return c.cfg }
@@ -261,7 +300,8 @@ func cacheKey(shares vm.Shares) [3]int64 {
 }
 
 // Calibrate measures and returns the optimizer parameters P for the given
-// resource allocation R. Results are cached per allocation.
+// resource allocation R. Results are cached per allocation; concurrent
+// calls for the same allocation share one measurement.
 func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 	if !shares.Valid() {
 		return optimizer.Params{}, fmt.Errorf("calibration: invalid shares %v", shares)
@@ -272,19 +312,36 @@ func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 		c.mu.Unlock()
 		return p, nil
 	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.p, call.err
+	}
+	call := &calCall{done: make(chan struct{})}
+	c.inflight[key] = call
 	c.mu.Unlock()
 
-	if err := c.buildDB(); err != nil {
-		return optimizer.Params{}, err
+	if call.err = c.buildDB(); call.err == nil {
+		call.p, call.err = c.measure(shares)
 	}
-	p, err := c.measure(shares)
-	if err != nil {
-		return optimizer.Params{}, err
+	c.mu.Lock()
+	if call.err == nil {
+		c.cache[key] = call.p
 	}
+	delete(c.inflight, key) // errors are not cached; a later call retries
+	c.mu.Unlock()
+	close(call.done)
+	return call.p, call.err
+}
+
+// prime inserts an already-measured parameter vector into the cache; used
+// when grid workers hand their lattice points back to the shared
+// calibrator.
+func (c *Calibrator) prime(shares vm.Shares, p optimizer.Params) {
+	key := cacheKey(shares)
 	c.mu.Lock()
 	c.cache[key] = p
 	c.mu.Unlock()
-	return p, nil
 }
 
 // measure runs the full probe suite at one allocation.
@@ -424,5 +481,6 @@ func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
 	if err := p.Validate(); err != nil {
 		return optimizer.Params{}, fmt.Errorf("calibration: %w", err)
 	}
+	c.measures.Add(1)
 	return p, nil
 }

@@ -3,6 +3,8 @@ package calibration
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/vm"
@@ -12,14 +14,48 @@ import (
 // and interpolates between them. Grid calibration plus interpolation is
 // the paper's proposed way to keep the number of calibration experiments
 // manageable (Section 7): calibrate a coarse lattice offline, answer any
-// allocation online.
+// allocation online. Points are stored in a dense slice (CPU-major,
+// memory, then I/O) and axes are searched with binary search, so lookups
+// are O(log axis) with no per-point map overhead. A populated Grid is
+// immutable and safe for concurrent use.
 type Grid struct {
 	cpus, mems, ios []float64
-	points          map[[3]int]optimizer.Params
+	points          []optimizer.Params // dense; see Grid.index
+}
+
+// index flattens lattice coordinates into the dense points slice.
+func (g *Grid) index(ic, im, ii int) int {
+	return (ic*len(g.mems)+im)*len(g.ios) + ii
+}
+
+// newGrid allocates an empty grid over copies of the given axes.
+func newGrid(cpus, mems, ios []float64) *Grid {
+	g := &Grid{
+		cpus: append([]float64(nil), cpus...),
+		mems: append([]float64(nil), mems...),
+		ios:  append([]float64(nil), ios...),
+	}
+	g.points = make([]optimizer.Params, len(g.cpus)*len(g.mems)*len(g.ios))
+	return g
+}
+
+// latticeShares returns the allocation at lattice coordinates (ic, im, ii).
+func (g *Grid) latticeShares(ic, im, ii int) vm.Shares {
+	return vm.Shares{CPU: g.cpus[ic], Memory: g.mems[im], IO: g.ios[ii]}
 }
 
 // CalibrateGrid measures every lattice point (the cross product of the
 // three axes) and returns the grid. Axis values must be valid shares.
+//
+// Lattice points are distributed over a bounded worker pool sized by
+// Config.Parallelism. Every worker owns a private Calibrator — its own
+// synthetic database, machines, and VMs — so no simulated clock is ever
+// shared between goroutines; because the calibration database is built
+// deterministically from the seeded Config and each measurement runs on a
+// fresh machine, every worker measures bit-for-bit the same parameters a
+// serial run would, and workers write into pre-indexed lattice slots, so
+// the resulting grid is byte-identical regardless of scheduling. All
+// measured points are also handed back to this calibrator's cache.
 func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 	for _, axis := range [][]float64{cpus, mems, ios} {
 		if len(axis) == 0 {
@@ -29,20 +65,75 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 			return nil, fmt.Errorf("calibration: grid axis must be sorted")
 		}
 	}
-	g := &Grid{
-		cpus:   append([]float64(nil), cpus...),
-		mems:   append([]float64(nil), mems...),
-		ios:    append([]float64(nil), ios...),
-		points: make(map[[3]int]optimizer.Params),
+	g := newGrid(cpus, mems, ios)
+	n := len(g.points)
+	workers := c.cfg.workers()
+	if workers > n {
+		workers = n
 	}
-	for ic, cpu := range cpus {
-		for im, mem := range mems {
-			for ii, io := range ios {
-				p, err := c.Calibrate(vm.Shares{CPU: cpu, Memory: mem, IO: io})
-				if err != nil {
-					return nil, fmt.Errorf("calibration: grid point (%g,%g,%g): %w", cpu, mem, io, err)
-				}
-				g.points[[3]int{ic, im, ii}] = p
+
+	// Per-worker calibrators: worker 0 reuses this calibrator (and its
+	// warm cache); extra workers get fresh instances built from the same
+	// deterministic config.
+	cals := make([]*Calibrator, workers)
+	for w := range cals {
+		if w == 0 {
+			cals[w] = c
+		} else {
+			cals[w] = New(c.cfg)
+		}
+	}
+
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	work := func(w int) {
+		cal := cals[w]
+		for {
+			idx := int(next.Add(1)) - 1
+			if idx >= n {
+				return
+			}
+			ii := idx % len(g.ios)
+			im := (idx / len(g.ios)) % len(g.mems)
+			ic := idx / (len(g.ios) * len(g.mems))
+			p, err := cal.Calibrate(g.latticeShares(ic, im, ii))
+			if err != nil {
+				errs[idx] = err
+				continue
+			}
+			g.points[idx] = p
+		}
+	}
+	if workers <= 1 {
+		work(0)
+	} else {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				work(w)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for idx, err := range errs { // first failing lattice point, in order
+		if err != nil {
+			ii := idx % len(g.ios)
+			im := (idx / len(g.ios)) % len(g.mems)
+			ic := idx / (len(g.ios) * len(g.mems))
+			sh := g.latticeShares(ic, im, ii)
+			return nil, fmt.Errorf("calibration: grid point (%g,%g,%g): %w", sh.CPU, sh.Memory, sh.IO, err)
+		}
+	}
+
+	// Hand every point back to the shared calibrator's cache so later
+	// direct Calibrate calls hit instead of re-measuring.
+	for ic := range g.cpus {
+		for im := range g.mems {
+			for ii := range g.ios {
+				c.prime(g.latticeShares(ic, im, ii), g.points[g.index(ic, im, ii)])
 			}
 		}
 	}
@@ -57,15 +148,15 @@ func (g *Grid) Lookup(shares vm.Shares) (optimizer.Params, bool) {
 	if !okC || !okM || !okI {
 		return optimizer.Params{}, false
 	}
-	p, ok := g.points[[3]int{ic, im, ii}]
-	return p, ok
+	return g.points[g.index(ic, im, ii)], true
 }
 
+// indexOf finds v on a sorted axis by binary search, within the usual
+// floating-point tolerance.
 func indexOf(axis []float64, v float64) (int, bool) {
-	for i, a := range axis {
-		if approxEq(a, v) {
-			return i, true
-		}
+	i := sort.SearchFloat64s(axis, v-1e-9)
+	if i < len(axis) && approxEq(axis[i], v) {
+		return i, true
 	}
 	return 0, false
 }
@@ -82,7 +173,7 @@ func (g *Grid) Interpolate(shares vm.Shares) optimizer.Params {
 	m0, m1, mf := bracket(g.mems, shares.Memory)
 	i0, i1, fi := bracket(g.ios, shares.IO)
 
-	get := func(ic, im, ii int) optimizer.Params { return g.points[[3]int{ic, im, ii}] }
+	get := func(ic, im, ii int) optimizer.Params { return g.points[g.index(ic, im, ii)] }
 	// Interpolate along I/O, then memory, then CPU.
 	lerpIO := func(ic, im int) optimizer.Params {
 		return lerpParams(get(ic, im, i0), get(ic, im, i1), fi)
@@ -93,25 +184,25 @@ func (g *Grid) Interpolate(shares vm.Shares) optimizer.Params {
 	return lerpParams(lerpMem(c0), lerpMem(c1), cf)
 }
 
-// bracket finds the axis cell containing v and the interpolation fraction.
+// bracket finds the axis cell containing v and the interpolation fraction
+// by binary search on the sorted axis.
 func bracket(axis []float64, v float64) (lo, hi int, frac float64) {
+	last := len(axis) - 1
 	if v <= axis[0] {
 		return 0, 0, 0
 	}
-	last := len(axis) - 1
 	if v >= axis[last] {
 		return last, last, 0
 	}
-	for i := 0; i < last; i++ {
-		if v >= axis[i] && v <= axis[i+1] {
-			span := axis[i+1] - axis[i]
-			if span <= 0 {
-				return i, i, 0
-			}
-			return i, i + 1, (v - axis[i]) / span
-		}
+	// First index with axis[hi] >= v; v is strictly inside the axis range,
+	// so 1 <= hi <= last.
+	hi = sort.SearchFloat64s(axis, v)
+	lo = hi - 1
+	span := axis[hi] - axis[lo]
+	if span <= 0 {
+		return lo, lo, 0
 	}
-	return last, last, 0
+	return lo, hi, (v - axis[lo]) / span
 }
 
 // lerpParams interpolates every continuous parameter field; integer-like

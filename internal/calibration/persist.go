@@ -31,11 +31,19 @@ type gridPointJSON struct {
 	Params optimizer.Params `json:"params"`
 }
 
-// SaveJSON writes the grid as JSON.
+// SaveJSON writes the grid as JSON. Points are emitted in lattice order
+// (CPU-major), so the output is deterministic.
 func (g *Grid) SaveJSON(w io.Writer) error {
 	out := gridJSON{Version: 1, CPUs: g.cpus, Mems: g.mems, IOs: g.ios}
-	for key, p := range g.points {
-		out.Points = append(out.Points, gridPointJSON{CPU: key[0], Mem: key[1], IO: key[2], Params: p})
+	for ic := range g.cpus {
+		for im := range g.mems {
+			for ii := range g.ios {
+				out.Points = append(out.Points, gridPointJSON{
+					CPU: ic, Mem: im, IO: ii,
+					Params: g.points[g.index(ic, im, ii)],
+				})
+			}
+		}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -54,13 +62,10 @@ func LoadGrid(r io.Reader) (*Grid, error) {
 	if len(in.CPUs) == 0 || len(in.Mems) == 0 || len(in.IOs) == 0 {
 		return nil, fmt.Errorf("calibration: grid has empty axes")
 	}
-	g := &Grid{
-		cpus:   in.CPUs,
-		mems:   in.Mems,
-		ios:    in.IOs,
-		points: make(map[[3]int]optimizer.Params, len(in.Points)),
-	}
-	want := len(in.CPUs) * len(in.Mems) * len(in.IOs)
+	g := newGrid(in.CPUs, in.Mems, in.IOs)
+	want := len(g.points)
+	seen := make([]bool, want)
+	var have int
 	for _, pt := range in.Points {
 		if pt.CPU < 0 || pt.CPU >= len(in.CPUs) ||
 			pt.Mem < 0 || pt.Mem >= len(in.Mems) ||
@@ -70,10 +75,15 @@ func LoadGrid(r io.Reader) (*Grid, error) {
 		if err := pt.Params.Validate(); err != nil {
 			return nil, fmt.Errorf("calibration: invalid grid point: %w", err)
 		}
-		g.points[[3]int{pt.CPU, pt.Mem, pt.IO}] = pt.Params
+		idx := g.index(pt.CPU, pt.Mem, pt.IO)
+		if !seen[idx] {
+			seen[idx] = true
+			have++
+		}
+		g.points[idx] = pt.Params
 	}
-	if len(g.points) != want {
-		return nil, fmt.Errorf("calibration: grid has %d of %d lattice points", len(g.points), want)
+	if have != want {
+		return nil, fmt.Errorf("calibration: grid has %d of %d lattice points", have, want)
 	}
 	return g, nil
 }

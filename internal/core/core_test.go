@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 
 	"dbvirt/internal/engine"
@@ -299,9 +300,9 @@ func TestWeightsShiftOptimum(t *testing.T) {
 
 func TestMemoizationReducesEvaluations(t *testing.T) {
 	specs := fakeSpecs("a", "b", "c")
-	calls := 0
+	var calls atomic.Int64 // the solver may invoke the model from several workers
 	model := &funcModel{name: "count", f: func(w *WorkloadSpec, s vm.Shares) float64 {
-		calls++
+		calls.Add(1)
 		return 1 / s.CPU
 	}}
 	p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.1}
@@ -311,11 +312,11 @@ func TestMemoizationReducesEvaluations(t *testing.T) {
 	}
 	// 8 distinct unit values per workload => at most 3*8 = 24 evals even
 	// though the exhaustive search visits C(9,2)=36 allocations.
-	if calls > 24 {
-		t.Errorf("cost model called %d times, memoization broken", calls)
+	if calls.Load() > 24 {
+		t.Errorf("cost model called %d times, memoization broken", calls.Load())
 	}
-	if res.Evaluations != calls {
-		t.Errorf("Evaluations = %d, calls = %d", res.Evaluations, calls)
+	if int64(res.Evaluations) != calls.Load() {
+		t.Errorf("Evaluations = %d, calls = %d", res.Evaluations, calls.Load())
 	}
 }
 

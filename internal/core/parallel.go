@@ -1,0 +1,42 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// parallelFor invokes body(worker, i) for every i in [0, n), distributing
+// indices over at most `workers` goroutines through a shared counter. With
+// one worker (or one index) it degenerates to a plain loop with zero
+// goroutine overhead. body must confine its writes to worker-private or
+// index-private state; determinism is then the caller's responsibility —
+// the convention throughout this package is to write results into
+// pre-indexed slots (or per-worker bests) and merge them in index order
+// afterwards, so the outcome is independent of goroutine scheduling.
+func parallelFor(workers, n int, body func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

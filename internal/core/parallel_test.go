@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dbvirt/internal/vm"
+)
+
+// TestCostCacheConcurrent hammers the memoized cost cache from many
+// goroutines requesting overlapping keys and checks that (a) every
+// distinct (workload, shares) pair is computed exactly once, and (b)
+// every caller observes the same value. Run under -race this also
+// exercises the sharded-lock and in-flight-dedup paths.
+func TestCostCacheConcurrent(t *testing.T) {
+	specs := fakeSpecs("a", "b", "c")
+	var computed atomic.Int64
+	inner := &funcModel{name: "count", f: func(w *WorkloadSpec, s vm.Shares) float64 {
+		computed.Add(1)
+		return s.CPU*100 + s.Memory*10 + s.IO + float64(len(w.Name))
+	}}
+	cache := newCostCache(inner)
+
+	shares := func(k int) vm.Shares {
+		return vm.Shares{CPU: 0.05 * float64(k%19+1), Memory: 0.5, IO: 0.5}
+	}
+	const goroutines = 32
+	const perG = 200
+	uniqueKeys := 3 * 19 // 3 workloads x 19 distinct CPU shares
+
+	var wg sync.WaitGroup
+	results := make([][]float64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = make([]float64, perG)
+			for i := 0; i < perG; i++ {
+				wi := (g + i) % len(specs)
+				v, err := cache.Cost(wi, specs[wi], shares(g*7+i))
+				if err != nil {
+					t.Errorf("Cost: %v", err)
+					return
+				}
+				results[g][i] = v
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := computed.Load(); got != int64(uniqueKeys) {
+		t.Fatalf("inner model computed %d times, want once per unique key (%d)", got, uniqueKeys)
+	}
+	if cache.evaluations() != uniqueKeys {
+		t.Fatalf("evaluations() = %d, want %d", cache.evaluations(), uniqueKeys)
+	}
+	// Every goroutine must have seen the deterministic value.
+	for g := range results {
+		for i, v := range results[g] {
+			wi := (g + i) % len(specs)
+			want := inner.f(specs[wi], shares(g*7+i))
+			if v != want {
+				t.Fatalf("goroutine %d call %d: got %v want %v", g, i, v, want)
+			}
+		}
+	}
+}
+
+// TestParallelSolversMatchSerial checks the headline determinism claim:
+// every solver returns a byte-identical Result regardless of the worker
+// count, including the Evaluations counter and tie-breaks.
+func TestParallelSolversMatchSerial(t *testing.T) {
+	specs := fakeSpecs("w0", "w1", "w2", "w3")
+	// A bumpy deterministic cost surface with plateaus, so ties exist and
+	// tie-breaking order actually matters.
+	model := &funcModel{name: "bumpy", f: func(w *WorkloadSpec, s vm.Shares) float64 {
+		base := 1/(s.CPU+0.1) + 0.5/(s.IO+0.2)
+		bump := math.Sin(float64(len(w.Name))*s.CPU*7) * 0.05
+		return math.Round((base+bump)*8) / 8 // quantize to create plateaus
+	}}
+	solvers := []struct {
+		name  string
+		solve func(*Problem, CostModel) (*Result, error)
+	}{
+		{"exhaustive", SolveExhaustive},
+		{"greedy", SolveGreedy},
+		{"dp", SolveDP},
+	}
+	for _, sv := range solvers {
+		t.Run(sv.name, func(t *testing.T) {
+			var results []*Result
+			for _, j := range []int{1, 2, 8} {
+				p := &Problem{
+					Workloads:   specs,
+					Resources:   []vm.Resource{vm.CPU, vm.IO},
+					Step:        0.25,
+					Parallelism: j,
+				}
+				r, err := sv.solve(p, model)
+				if err != nil {
+					t.Fatalf("j=%d: %v", j, err)
+				}
+				results = append(results, r)
+			}
+			for i := 1; i < len(results); i++ {
+				if !reflect.DeepEqual(results[0], results[i]) {
+					t.Fatalf("results diverge:\n  j=1: %+v\n  j=%d: %+v", results[0], []int{1, 2, 8}[i], results[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSolversPropagateErrors checks that a failing cost model
+// surfaces the same (first, in candidate order) error at any parallelism.
+func TestParallelSolversPropagateErrors(t *testing.T) {
+	specs := fakeSpecs("a", "b")
+	bad := &errModel{}
+	for _, j := range []int{1, 4} {
+		p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25, Parallelism: j}
+		if _, err := SolveExhaustive(p, bad); err == nil {
+			t.Fatalf("j=%d: exhaustive: want error", j)
+		}
+		if _, err := SolveGreedy(p, bad); err == nil {
+			t.Fatalf("j=%d: greedy: want error", j)
+		}
+	}
+}
+
+type errModel struct{}
+
+func (m *errModel) Name() string { return "err" }
+func (m *errModel) Cost(w *WorkloadSpec, s vm.Shares) (float64, error) {
+	if s.CPU > 0.6 {
+		return 0, fmt.Errorf("model failure at cpu=%g", s.CPU)
+	}
+	return 1 / s.CPU, nil
+}
+
+// expensiveModel burns deterministic CPU per evaluation, standing in for
+// the real what-if model (whose per-evaluation cost is planning a whole
+// workload). The work is pure arithmetic so results are bit-identical
+// across workers.
+func expensiveModel() CostModel {
+	return &funcModel{name: "expensive", f: func(w *WorkloadSpec, s vm.Shares) float64 {
+		x := s.CPU + s.Memory + s.IO
+		for i := 0; i < 200_000; i++ {
+			x = x + math.Sqrt(float64(i%97)+x)/1e6
+		}
+		return 1/(s.CPU+0.05) + x*1e-9
+	}}
+}
+
+// BenchmarkExhaustiveSearch measures the N=4 exhaustive grid search over
+// CPU+IO at step 0.05 with an artificially expensive cost model, at
+// worker counts 1 and 4. On a multi-core host j=4 should cut wall-clock
+// time by ~the core count (the unique-evaluation count is identical —
+// memoization dedups across candidates in both modes).
+func BenchmarkExhaustiveSearch(b *testing.B) {
+	specs := fakeSpecs("w0", "w1", "w2", "w3")
+	model := expensiveModel()
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			p := &Problem{
+				Workloads:   specs,
+				Resources:   []vm.Resource{vm.CPU},
+				Step:        0.05,
+				Parallelism: j,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveExhaustive(p, model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGreedySearch is the same comparison for the greedy solver's
+// per-round neighbor-move fan-out.
+func BenchmarkGreedySearch(b *testing.B) {
+	specs := fakeSpecs("w0", "w1", "w2", "w3")
+	model := expensiveModel()
+	for _, j := range []int{1, 4} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			p := &Problem{
+				Workloads:   specs,
+				Resources:   []vm.Resource{vm.CPU, vm.IO},
+				Step:        0.1,
+				Parallelism: j,
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveGreedy(p, model); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"dbvirt/internal/engine"
 	"dbvirt/internal/vm"
@@ -94,6 +97,20 @@ type Problem struct {
 	// searched resource; defaults to Step.
 	MinShare  float64
 	Objective Objective
+	// Parallelism bounds the number of worker goroutines the solvers use
+	// to evaluate candidate allocations; 0 (the default) means
+	// runtime.GOMAXPROCS(0), 1 forces serial execution. Results are
+	// byte-identical at every setting: workers write into pre-indexed
+	// slots and ties break by allocation order, never completion order.
+	Parallelism int
+}
+
+// workers resolves the configured parallelism to a worker count.
+func (p *Problem) workers() int {
+	if p.Parallelism > 0 {
+		return p.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Validate checks the problem is well-formed.
@@ -204,10 +221,10 @@ func (r *Result) String() string {
 
 // evaluate computes the objective of an allocation, using a memoizing
 // wrapper around the cost model.
-func (p *Problem) evaluate(m *memoModel, alloc Allocation) (total float64, costs []float64, err error) {
+func (p *Problem) evaluate(m *costCache, alloc Allocation) (total float64, costs []float64, err error) {
 	costs = make([]float64, len(p.Workloads))
 	for i, w := range p.Workloads {
-		c, err := m.Cost(w, alloc[i])
+		c, err := m.Cost(i, w, alloc[i])
 		if err != nil {
 			return 0, nil, err
 		}
@@ -217,33 +234,89 @@ func (p *Problem) evaluate(m *memoModel, alloc Allocation) (total float64, costs
 	return total, costs, nil
 }
 
-// memoModel caches cost-model calls per (workload, quantized shares).
-type memoModel struct {
-	inner CostModel
-	cache map[memoKey]float64
-	evals int
+// cacheShards spreads the cost cache's lock over independent buckets so
+// concurrent solver workers rarely contend on the same mutex.
+const cacheShards = 16
+
+// costCache caches cost-model calls per (workload, quantized shares). It
+// is safe for concurrent use: lookups are sharded by key, and an in-flight
+// computation is joined (singleflight-style) rather than repeated, so the
+// same (workload, shares) pair is evaluated exactly once even when many
+// workers race on it. Errors are not cached; a failed computation may be
+// retried by a later call, matching the serial memoization semantics.
+type costCache struct {
+	inner  CostModel
+	shards [cacheShards]costShard
+	evals  atomic.Int64
+}
+
+type costShard struct {
+	mu      sync.Mutex
+	entries map[memoKey]*costEntry
 }
 
 type memoKey struct {
-	w   *WorkloadSpec
+	wi  int // workload index within the problem
 	key [3]int64
 }
 
-func newMemoModel(inner CostModel) *memoModel {
-	return &memoModel{inner: inner, cache: make(map[memoKey]float64)}
+// shard hashes the key onto a lock shard (FNV-style mixing).
+func (k memoKey) shard() int {
+	h := uint64(k.wi) + 14695981039346656037
+	for _, v := range k.key {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	return int(h % cacheShards)
 }
 
-func (m *memoModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
-	q := func(f float64) int64 { return int64(math.Round(f * 1e9)) }
-	k := memoKey{w: w, key: [3]int64{q(shares.CPU), q(shares.Memory), q(shares.IO)}}
-	if c, ok := m.cache[k]; ok {
-		return c, nil
-	}
-	c, err := m.inner.Cost(w, shares)
-	if err != nil {
-		return 0, err
-	}
-	m.cache[k] = c
-	m.evals++
-	return c, nil
+// costEntry is one cache slot; done is closed once val/err are final.
+type costEntry struct {
+	done chan struct{}
+	val  float64
+	err  error
 }
+
+func newCostCache(inner CostModel) *costCache {
+	m := &costCache{inner: inner}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[memoKey]*costEntry)
+	}
+	return m
+}
+
+func quantizeShares(s vm.Shares) [3]int64 {
+	q := func(f float64) int64 { return int64(math.Round(f * 1e9)) }
+	return [3]int64{q(s.CPU), q(s.Memory), q(s.IO)}
+}
+
+// Cost returns the memoized cost of workload wi (== p.Workloads[wi])
+// under the given shares, computing it at most once per distinct key.
+func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	k := memoKey{wi: wi, key: quantizeShares(shares)}
+	sh := &m.shards[k.shard()]
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &costEntry{done: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+
+	e.val, e.err = m.inner.Cost(w, shares)
+	if e.err == nil {
+		m.evals.Add(1)
+	}
+	close(e.done)
+	if e.err != nil {
+		sh.mu.Lock()
+		delete(sh.entries, k)
+		sh.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// evaluations returns the number of successful cost-model invocations
+// (cache misses) so far.
+func (m *costCache) evaluations() int { return int(m.evals.Load()) }

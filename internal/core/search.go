@@ -7,27 +7,31 @@ import (
 	"dbvirt/internal/vm"
 )
 
-// sharesFor builds one workload's Shares from per-searched-resource unit
-// counts; non-searched resources get the equal split.
-func (p *Problem) sharesFor(units map[vm.Resource]int) vm.Shares {
-	s := vm.Shares{CPU: p.fixedShare(), Memory: p.fixedShare(), IO: p.fixedShare()}
-	for r, u := range units {
-		s = s.With(r, float64(u)*p.Step)
+// sharesFromUnits builds one workload's Shares from per-searched-resource
+// unit counts (units is aligned with p.Resources); non-searched resources
+// get the equal split. No intermediate maps are allocated: shares are set
+// by indexing the resource directly.
+func (p *Problem) sharesFromUnits(units []int) vm.Shares {
+	f := p.fixedShare()
+	s := vm.Shares{CPU: f, Memory: f, IO: f}
+	for k, r := range p.Resources {
+		s = s.With(r, float64(units[k])*p.Step)
 	}
 	return s
 }
 
-// allocationFromUnits converts a per-resource unit matrix (resource →
-// per-workload units) into an Allocation.
-func (p *Problem) allocationFromUnits(unitsByRes map[vm.Resource][]int) Allocation {
+// allocationFromResUnits converts a per-resource unit matrix (rows aligned
+// with p.Resources, columns per workload) into an Allocation.
+func (p *Problem) allocationFromResUnits(resUnits [][]int) Allocation {
 	n := len(p.Workloads)
+	f := p.fixedShare()
 	alloc := make(Allocation, n)
 	for i := 0; i < n; i++ {
-		perWorkload := make(map[vm.Resource]int, len(p.Resources))
-		for _, r := range p.Resources {
-			perWorkload[r] = unitsByRes[r][i]
+		s := vm.Shares{CPU: f, Memory: f, IO: f}
+		for k, r := range p.Resources {
+			s = s.With(r, float64(resUnits[k][i])*p.Step)
 		}
-		alloc[i] = p.sharesFor(perWorkload)
+		alloc[i] = s
 	}
 	return alloc
 }
@@ -58,57 +62,112 @@ func compositions(n, total, min int) [][]int {
 	return out
 }
 
+// exhaustiveCand is one worker's best candidate so far in the exhaustive
+// enumeration: the flat candidate index plus the evaluated allocation.
+type exhaustiveCand struct {
+	idx   int
+	total float64
+	costs []float64
+	alloc Allocation
+}
+
+// better reports whether c should replace cur. Ties in the objective break
+// by enumeration order (the smaller flat index), which is exactly the
+// "first strictly-better candidate wins" rule of a serial scan — so the
+// winner is independent of how candidates were distributed over workers.
+func (c *exhaustiveCand) better(cur *exhaustiveCand) bool {
+	if cur == nil {
+		return true
+	}
+	return c.total < cur.total || (c.total == cur.total && c.idx < cur.idx)
+}
+
 // SolveExhaustive enumerates every grid allocation and returns the best.
 // The search space is the cross product of per-resource compositions, so
 // it is only feasible for small N and coarse steps; it exists as the
-// ground truth for the other algorithms.
+// ground truth for the other algorithms. Candidates are evaluated on
+// p.Parallelism workers over a shared memoized cost cache; the result is
+// identical to a serial scan regardless of scheduling.
 func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	memo := newMemoModel(model)
-	n := len(p.Workloads)
+	memo := newCostCache(model)
 	perRes := make([][][]int, len(p.Resources))
+	numCands := 1
 	for ri := range p.Resources {
-		perRes[ri] = compositions(n, p.units(), p.minUnits())
+		perRes[ri] = compositions(len(p.Workloads), p.units(), p.minUnits())
 		if len(perRes[ri]) == 0 {
 			return nil, fmt.Errorf("core: no feasible allocation at step %g", p.Step)
 		}
+		numCands *= len(perRes[ri])
 	}
 
-	var best *Result
-	choice := make(map[vm.Resource][]int, len(p.Resources))
-	var rec func(ri int) error
-	rec = func(ri int) error {
-		if ri == len(p.Resources) {
-			alloc := p.allocationFromUnits(choice)
-			total, costs, err := p.evaluate(memo, alloc)
-			if err != nil {
-				return err
-			}
-			if best == nil || total < best.PredictedTotal {
-				best = &Result{
-					Algorithm:      "exhaustive",
-					Allocation:     alloc,
-					PredictedCosts: costs,
-					PredictedTotal: total,
-				}
-			}
-			return nil
+	// Candidates are indexed in mixed radix with the last resource varying
+	// fastest, matching the nesting order of a recursive enumeration.
+	decode := func(idx int, resUnits [][]int) {
+		for ri := len(perRes) - 1; ri >= 0; ri-- {
+			comps := perRes[ri]
+			resUnits[ri] = comps[idx%len(comps)]
+			idx /= len(comps)
 		}
-		for _, comp := range perRes[ri] {
-			choice[p.Resources[ri]] = comp
-			if err := rec(ri + 1); err != nil {
-				return err
-			}
+	}
+
+	workers := p.workers()
+	if workers > numCands {
+		workers = numCands
+	}
+	bests := make([]*exhaustiveCand, workers)
+	errs := make([]error, workers)
+	errIdxs := make([]int, workers)
+	decodeBufs := make([][][]int, workers)
+	for w := range decodeBufs {
+		decodeBufs[w] = make([][]int, len(perRes))
+	}
+	parallelFor(workers, numCands, func(w, idx int) {
+		if errs[w] != nil {
+			return
 		}
-		return nil
+		resUnits := decodeBufs[w]
+		decode(idx, resUnits)
+		alloc := p.allocationFromResUnits(resUnits)
+		total, costs, err := p.evaluate(memo, alloc)
+		if err != nil {
+			errs[w] = err
+			errIdxs[w] = idx
+			return
+		}
+		c := &exhaustiveCand{idx: idx, total: total, costs: costs, alloc: alloc}
+		if c.better(bests[w]) {
+			bests[w] = c
+		}
+	})
+
+	// Deterministic error selection: the failure at the smallest index.
+	var firstErr error
+	firstErrIdx := numCands
+	for w, err := range errs {
+		if err != nil && errIdxs[w] < firstErrIdx {
+			firstErr, firstErrIdx = err, errIdxs[w]
+		}
 	}
-	if err := rec(0); err != nil {
-		return nil, err
+	if firstErr != nil {
+		return nil, firstErr
 	}
-	best.Evaluations = memo.evals
-	return best, nil
+
+	var best *exhaustiveCand
+	for _, c := range bests {
+		if c != nil && c.better(best) {
+			best = c
+		}
+	}
+	return &Result{
+		Algorithm:      "exhaustive",
+		Allocation:     best.alloc,
+		PredictedCosts: best.costs,
+		PredictedTotal: best.total,
+		Evaluations:    memo.evaluations(),
+	}, nil
 }
 
 // SolveDP solves the problem exactly by dynamic programming over
@@ -120,7 +179,7 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	memo := newMemoModel(model)
+	memo := newCostCache(model)
 	n := len(p.Workloads)
 	nr := len(p.Resources)
 	min := p.minUnits()
@@ -148,11 +207,7 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 		var rec func(ri int) error
 		rec = func(ri int) error {
 			if ri == nr {
-				perWorkload := make(map[vm.Resource]int, nr)
-				for k, r := range p.Resources {
-					perWorkload[r] = units[k]
-				}
-				c, err := memo.Cost(w, p.sharesFor(perWorkload))
+				c, err := memo.Cost(st.i, w, p.sharesFromUnits(units))
 				if err != nil {
 					return err
 				}
@@ -208,9 +263,9 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 	}
 
 	// Reconstruct the allocation by replaying the choices.
-	unitsByRes := make(map[vm.Resource][]int, nr)
-	for _, r := range p.Resources {
-		unitsByRes[r] = make([]int, n)
+	resUnits := make([][]int, nr)
+	for k := range p.Resources {
+		resUnits[k] = make([]int, n)
 	}
 	st := start
 	for i := 0; i < n; i++ {
@@ -218,13 +273,13 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 		e := table[st]
 		next := st
 		next.i = i + 1
-		for _, r := range p.Resources {
-			unitsByRes[r][i] = e.choice[r]
+		for k, r := range p.Resources {
+			resUnits[k][i] = e.choice[r]
 			next.rem[r] = st.rem[r] - e.choice[r]
 		}
 		st = next
 	}
-	alloc := p.allocationFromUnits(unitsByRes)
+	alloc := p.allocationFromResUnits(resUnits)
 	total, costs, err := p.evaluate(memo, alloc)
 	if err != nil {
 		return nil, err
@@ -234,26 +289,36 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 		Allocation:     alloc,
 		PredictedCosts: costs,
 		PredictedTotal: total,
-		Evaluations:    memo.evals,
+		Evaluations:    memo.evaluations(),
 	}, nil
+}
+
+// greedyMove is one candidate quantum shift: one unit of resource
+// p.Resources[ri] from workload donor to workload recv.
+type greedyMove struct {
+	ri, donor, recv int
 }
 
 // SolveGreedy starts from the equal allocation and repeatedly moves one
 // share quantum of one resource from a donor workload to a recipient,
 // taking the best improving move until none exists. A local search in the
 // spirit of the paper's "standard combinatorial search" suggestion: cheap,
-// and optimal in practice for well-behaved cost surfaces.
+// and optimal in practice for well-behaved cost surfaces. Each round's
+// neighbor moves are evaluated on p.Parallelism workers into pre-indexed
+// slots and then selected by a serial scan in move order, so the chosen
+// move is identical to a fully serial search.
 func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	memo := newMemoModel(model)
+	memo := newCostCache(model)
 	n := len(p.Workloads)
 	min := p.minUnits()
+	workers := p.workers()
 
 	// Equal start, snapped to the grid.
-	unitsByRes := make(map[vm.Resource][]int, len(p.Resources))
-	for _, r := range p.Resources {
+	resUnits := make([][]int, len(p.Resources))
+	for k := range p.Resources {
 		base := p.units() / n
 		rem := p.units() - base*n
 		u := make([]int, n)
@@ -263,58 +328,87 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 				u[i]++
 			}
 		}
-		unitsByRes[r] = u
+		resUnits[k] = u
 	}
 
-	alloc := p.allocationFromUnits(unitsByRes)
+	alloc := p.allocationFromResUnits(resUnits)
 	bestTotal, bestCosts, err := p.evaluate(memo, alloc)
 	if err != nil {
 		return nil, err
 	}
 
+	var moves []greedyMove
 	for {
-		type move struct {
-			r           vm.Resource
-			donor, recv int
-		}
-		var bestMove *move
-		bestMoveTotal := bestTotal
-		for _, r := range p.Resources {
-			u := unitsByRes[r]
+		// Enumerate this round's feasible moves in deterministic order.
+		moves = moves[:0]
+		for ri := range p.Resources {
+			u := resUnits[ri]
 			for donor := 0; donor < n; donor++ {
 				if u[donor] <= min {
 					continue
 				}
 				for recv := 0; recv < n; recv++ {
-					if recv == donor {
-						continue
-					}
-					u[donor]--
-					u[recv]++
-					cand := p.allocationFromUnits(unitsByRes)
-					total, _, err := p.evaluate(memo, cand)
-					u[donor]++
-					u[recv]--
-					if err != nil {
-						return nil, err
-					}
-					if total < bestMoveTotal-1e-12 {
-						bestMoveTotal = total
-						bestMove = &move{r: r, donor: donor, recv: recv}
+					if recv != donor {
+						moves = append(moves, greedyMove{ri: ri, donor: donor, recv: recv})
 					}
 				}
 			}
 		}
-		if bestMove == nil {
+		if len(moves) == 0 {
 			break
 		}
-		unitsByRes[bestMove.r][bestMove.donor]--
-		unitsByRes[bestMove.r][bestMove.recv]++
-		alloc = p.allocationFromUnits(unitsByRes)
-		bestTotal, bestCosts, err = p.evaluate(memo, alloc)
-		if err != nil {
-			return nil, err
+
+		// Fan the move evaluations out; each worker applies moves to its
+		// own scratch copy of the unit matrix and writes results into the
+		// move's slot.
+		totals := make([]float64, len(moves))
+		costs := make([][]float64, len(moves))
+		errs := make([]error, len(moves))
+		scratch := make([][][]int, workers)
+		parallelFor(workers, len(moves), func(w, mi int) {
+			if scratch[w] == nil {
+				cp := make([][]int, len(resUnits))
+				for k := range resUnits {
+					cp[k] = append([]int(nil), resUnits[k]...)
+				}
+				scratch[w] = cp
+			}
+			u := scratch[w]
+			mv := moves[mi]
+			u[mv.ri][mv.donor]--
+			u[mv.ri][mv.recv]++
+			cand := p.allocationFromResUnits(u)
+			u[mv.ri][mv.donor]++
+			u[mv.ri][mv.recv]--
+			totals[mi], costs[mi], errs[mi] = p.evaluate(memo, cand)
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
 		}
+
+		// Select the winning move exactly as a serial scan would: first
+		// strictly-improving total in move order wins ties.
+		bestMove := -1
+		bestMoveTotal := bestTotal
+		for mi, total := range totals {
+			if total < bestMoveTotal-1e-12 {
+				bestMoveTotal = total
+				bestMove = mi
+			}
+		}
+		if bestMove < 0 {
+			break
+		}
+		// The winner's total and per-workload costs are already known from
+		// the scan; apply the move and reuse them instead of re-evaluating.
+		mv := moves[bestMove]
+		resUnits[mv.ri][mv.donor]--
+		resUnits[mv.ri][mv.recv]++
+		alloc = p.allocationFromResUnits(resUnits)
+		bestTotal = bestMoveTotal
+		bestCosts = costs[bestMove]
 	}
 
 	return &Result{
@@ -322,7 +416,7 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 		Allocation:     alloc,
 		PredictedCosts: bestCosts,
 		PredictedTotal: bestTotal,
-		Evaluations:    memo.evals,
+		Evaluations:    memo.evaluations(),
 	}, nil
 }
 
@@ -335,7 +429,7 @@ func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name stri
 	if len(alloc) != len(p.Workloads) {
 		return nil, fmt.Errorf("core: allocation has %d entries for %d workloads", len(alloc), len(p.Workloads))
 	}
-	memo := newMemoModel(model)
+	memo := newCostCache(model)
 	total, costs, err := p.evaluate(memo, alloc)
 	if err != nil {
 		return nil, err
@@ -345,6 +439,6 @@ func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name stri
 		Allocation:     alloc.Clone(),
 		PredictedCosts: costs,
 		PredictedTotal: total,
-		Evaluations:    memo.evals,
+		Evaluations:    memo.evaluations(),
 	}, nil
 }

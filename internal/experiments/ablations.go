@@ -44,9 +44,10 @@ func (e *Env) AblationSearch(n int, step float64) ([]SearchRow, error) {
 	}
 	model := &core.WhatIfModel{Cal: e.Calibrator()}
 	problem := &core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU},
-		Step:      step,
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU},
+		Step:        step,
+		Parallelism: e.Parallelism,
 	}
 
 	type solver struct {
@@ -249,9 +250,10 @@ func (e *Env) DynamicReconfig() (*DynamicResult, error) {
 	model := &core.WhatIfModel{Cal: e.Calibrator()}
 	mkProblem := func(a, b *core.WorkloadSpec) *core.Problem {
 		return &core.Problem{
-			Workloads: []*core.WorkloadSpec{a, b},
-			Resources: []vm.Resource{vm.CPU},
-			Step:      0.25,
+			Workloads:   []*core.WorkloadSpec{a, b},
+			Resources:   []vm.Resource{vm.CPU},
+			Step:        0.25,
+			Parallelism: e.Parallelism,
 		}
 	}
 
@@ -341,9 +343,10 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 	}
 	model := &core.WhatIfModel{Cal: e.Calibrator()}
 	base := &core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU, vm.IO},
-		Step:      0.25,
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU, vm.IO},
+		Step:        0.25,
+		Parallelism: e.Parallelism,
 	}
 	unconstrained, err := core.SolveDP(base, model)
 	if err != nil {
@@ -354,10 +357,11 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 	slo := unconstrained.PredictedCosts[0] * 0.9
 	specs[0].SLOSeconds = slo
 	constrained := &core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU, vm.IO},
-		Step:      0.25,
-		Objective: core.Objective{SLOPenalty: 50},
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU, vm.IO},
+		Step:        0.25,
+		Objective:   core.Objective{SLOPenalty: 50},
+		Parallelism: e.Parallelism,
 	}
 	sol, err := core.SolveDP(constrained, model)
 	if err != nil {
@@ -424,17 +428,19 @@ func (e *Env) MemoryDimension() (*MemoryDimensionResult, error) {
 	}
 	model := &core.WhatIfModel{Cal: env.Calibrator()}
 	cpuOnly, err := core.SolveDP(&core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU},
-		Step:      0.25,
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU},
+		Step:        0.25,
+		Parallelism: env.Parallelism,
 	}, model)
 	if err != nil {
 		return nil, err
 	}
 	joint, err := core.SolveDP(&core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU, vm.Memory},
-		Step:      0.25,
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU, vm.Memory},
+		Step:        0.25,
+		Parallelism: env.Parallelism,
 	}, model)
 	if err != nil {
 		return nil, err

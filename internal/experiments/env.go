@@ -29,6 +29,10 @@ type Env struct {
 	Scale   workload.Scale
 	CalCfg  calibration.Config
 	Seed    int64
+	// Parallelism is handed to the calibrator (grid fan-out) and to every
+	// design problem the harness solves; 0 means runtime.GOMAXPROCS(0).
+	// Results are identical at every setting.
+	Parallelism int
 
 	mu  sync.Mutex
 	dbs map[string]*engine.Database
@@ -75,7 +79,11 @@ func (e *Env) Calibrator() *calibration.Calibrator {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cal == nil {
-		e.cal = calibration.New(e.CalCfg)
+		cfg := e.CalCfg
+		if cfg.Parallelism == 0 {
+			cfg.Parallelism = e.Parallelism
+		}
+		e.cal = calibration.New(cfg)
 	}
 	return e.cal
 }

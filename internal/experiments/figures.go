@@ -169,9 +169,10 @@ func (e *Env) Figure5() (*Fig5Result, error) {
 	}
 	model := &core.WhatIfModel{Cal: e.Calibrator()}
 	problem := &core.Problem{
-		Workloads: specs,
-		Resources: []vm.Resource{vm.CPU},
-		Step:      0.25,
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU},
+		Step:        0.25,
+		Parallelism: e.Parallelism,
 	}
 	sol, err := core.SolveDP(problem, model)
 	if err != nil {
