@@ -13,11 +13,29 @@ package dbvirt_test
 
 import (
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
 	"dbvirt/internal/experiments"
+	"dbvirt/internal/obs"
 )
+
+// TestMain dumps the process-global metrics registry after the run when
+// DBVIRT_METRICS_OUT is set, so CI can archive the counters and
+// histograms a benchmark sweep produced.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("DBVIRT_METRICS_OUT"); path != "" {
+		if err := obs.WriteMetricsFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 var (
 	envOnce sync.Once

@@ -16,9 +16,19 @@ import (
 	"strings"
 
 	"dbvirt/internal/calibration"
-
+	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
 )
+
+// closeObs flushes -trace-out/-metrics-out; set once telemetry is up so
+// error exits flush too.
+var closeObs = func() error { return nil }
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "calibrate: "+format+"\n", args...)
+	closeObs() // best-effort flush
+	os.Exit(1)
+}
 
 func main() {
 	cpus := flag.String("cpu", "0.25,0.5,0.75", "CPU shares to calibrate")
@@ -27,10 +37,23 @@ func main() {
 	quick := flag.Bool("quick", false, "use a small machine and calibration database")
 	jsonPath := flag.String("json", "", "write the calibrated lattice as JSON to this file")
 	jobs := flag.Int("j", 0, "worker-pool size for lattice calibration (0 = GOMAXPROCS)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	tel, closeFn, handled, err := oflags.Setup("calibrate")
+	if err != nil {
+		fail("%v", err)
+	}
+	if handled {
+		return
+	}
+	closeObs = closeFn
+	root := tel.Span("calibrate")
 
 	cfg := calibration.DefaultConfig()
 	cfg.Parallelism = *jobs
+	cfg.Obs = tel
 	if *quick {
 		cfg.Machine.MemBytes = 8 << 20
 		cfg.NarrowRows = 4000
@@ -44,8 +67,7 @@ func main() {
 
 	grid, err := cal.CalibrateGrid(cpuAxis, memAxis, ioAxis)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 
 	fmt.Printf("%-22s %9s %9s %9s %9s %9s %12s %8s\n",
@@ -56,8 +78,7 @@ func main() {
 				sh := vm.Shares{CPU: cpu, Memory: mem, IO: io}
 				p, ok := grid.Lookup(sh)
 				if !ok {
-					fmt.Fprintf(os.Stderr, "calibrate: missing lattice point %v\n", sh)
-					os.Exit(1)
+					fail("missing lattice point %v", sh)
 				}
 				fmt.Printf("%-22s %9.5f %9.5f %9.5f %9.2f %9.2f %12.3f %8d\n",
 					sh, p.CPUTupleCost, p.CPUOperatorCost, p.CPUIndexTupleCost,
@@ -69,15 +90,19 @@ func main() {
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		defer f.Close()
 		if err := grid.SaveJSON(f); err != nil {
-			fmt.Fprintf(os.Stderr, "calibrate: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Printf("wrote the calibrated lattice to %s (load with calibration.LoadGrid)\n", *jsonPath)
+	}
+
+	root.End()
+	if err := closeObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "calibrate: telemetry: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -86,8 +111,7 @@ func parseAxis(s string) []float64 {
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil || v <= 0 || v > 1 {
-			fmt.Fprintf(os.Stderr, "calibrate: bad share %q\n", part)
-			os.Exit(1)
+			fail("bad share %q", part)
 		}
 		out = append(out, v)
 	}

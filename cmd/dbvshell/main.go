@@ -19,9 +19,14 @@ import (
 	"strings"
 
 	"dbvirt/internal/engine"
+	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
+
+// closeObs flushes -trace-out/-metrics-out; set once telemetry is up so
+// fail() can flush on error exits too.
+var closeObs = func() error { return nil }
 
 func main() {
 	cpu := flag.Float64("cpu", 1.0, "VM CPU share")
@@ -30,7 +35,19 @@ func main() {
 	tpch := flag.Bool("tpch", false, "preload the TPC-H-like database (tiny scale)")
 	command := flag.String("c", "", "execute this SQL instead of reading stdin")
 	explain := flag.Bool("explain", false, "print the plan of every SELECT before running it")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	tel, closeFn, handled, err := oflags.Setup("dbvshell")
+	if err != nil {
+		fail("%v", err)
+	}
+	if handled {
+		return
+	}
+	closeObs = closeFn
+	root := tel.Span("dbvshell")
 
 	m, err := vm.NewMachine(vm.DefaultMachineConfig())
 	if err != nil {
@@ -63,9 +80,19 @@ func main() {
 	}
 
 	for _, stmt := range splitStatements(input) {
-		if err := runStatement(s, stmt, *explain); err != nil {
+		sp := root.Child("statement")
+		sp.SetArg("sql", firstLine(stmt))
+		err := runStatement(s, stmt, *explain)
+		sp.End()
+		if err != nil {
 			fail("%s: %v", firstLine(stmt), err)
 		}
+	}
+
+	root.End()
+	if err := closeObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "dbvshell: telemetry: %v\n", err)
+		os.Exit(1)
 	}
 }
 
@@ -154,5 +181,6 @@ func firstLine(s string) string {
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "dbvshell: "+format+"\n", args...)
+	closeObs() // best-effort flush of -trace-out/-metrics-out
 	os.Exit(1)
 }

@@ -16,26 +16,63 @@ import (
 	"os"
 
 	"dbvirt/internal/experiments"
+	"dbvirt/internal/obs"
 )
+
+// closeObs flushes -trace-out/-metrics-out; set once telemetry is up so
+// error exits flush too.
+var closeObs = func() error { return nil }
 
 func main() {
 	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, or all")
 	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	tel, closeFn, handled, err := oflags.Setup("experiments")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if handled {
+		return
+	}
+	closeObs = closeFn
+	root := tel.Span("experiments")
 
 	env := experiments.DefaultEnv()
 	if *quick {
 		env = experiments.QuickEnv()
 	}
 	env.Parallelism = *jobs
+	env.Obs = tel
+
+	// Per-figure machine-readable summary: counter deltas per experiment,
+	// embedded in the -metrics-out JSON under extra.figures.
+	summary := map[string]map[string]int64{}
+	reg := tel.Registry()
+	reg.SetExtra("figures", func() any { return summary })
 
 	run := func(name string, fn func() error) {
+		sp := root.Child(name)
+		defer sp.End()
+		before := reg.CounterValues()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			closeObs() // best-effort flush
 			os.Exit(1)
 		}
+		after := reg.CounterValues()
+		delta := map[string]int64{}
+		for k, v := range after {
+			if d := v - before[k]; d != 0 {
+				delta[k] = d
+			}
+		}
+		summary[name] = delta
 	}
 
 	if *fig == "3" || *fig == "all" {
@@ -126,5 +163,11 @@ func main() {
 			fmt.Print(experiments.FormatMemoryDimension(res))
 			return nil
 		})
+	}
+
+	root.End()
+	if err := closeObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: telemetry: %v\n", err)
+		os.Exit(1)
 	}
 }

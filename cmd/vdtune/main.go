@@ -22,9 +22,14 @@ import (
 
 	"dbvirt/internal/core"
 	"dbvirt/internal/experiments"
+	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
+
+// closeObs flushes -trace-out/-metrics-out; set once telemetry is up so
+// fail() can flush on error exits too.
+var closeObs = func() error { return nil }
 
 type workloadFlags []string
 
@@ -43,7 +48,19 @@ func main() {
 	scale := flag.String("scale", "small", "database scale: tiny, small, or experiment")
 	measure := flag.Bool("measure", false, "validate the recommendation by actual execution")
 	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
 	flag.Parse()
+
+	tel, closeFn, handled, err := oflags.Setup("vdtune")
+	if err != nil {
+		fail("%v", err)
+	}
+	if handled {
+		return
+	}
+	closeObs = closeFn
+	root := tel.Span("vdtune")
 
 	if len(wflags) < 2 {
 		fail("need at least two -w workload specs, e.g. -w W1=Q4x3 -w W2=Q13x9")
@@ -84,7 +101,8 @@ func main() {
 	}
 
 	env.Parallelism = *jobs
-	problem := &core.Problem{Workloads: specs, Resources: res, Step: *step, Parallelism: *jobs}
+	env.Obs = tel
+	problem := &core.Problem{Workloads: specs, Resources: res, Step: *step, Parallelism: *jobs, Obs: tel}
 	model := &core.WhatIfModel{Cal: env.Calibrator()}
 
 	fmt.Printf("Calibrating and solving (%s, step %.0f%%)...\n", *algo, *step*100)
@@ -130,6 +148,12 @@ func main() {
 		}
 		fmt.Printf("  %-12s %9.3fs %9.3fs (%+.0f%%)\n", "total", se, sc, (sc/se-1)*100)
 	}
+
+	root.End()
+	if err := closeObs(); err != nil {
+		fmt.Fprintf(os.Stderr, "vdtune: telemetry: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func parseWorkload(env *experiments.Env, spec string) (*core.WorkloadSpec, error) {
@@ -172,5 +196,6 @@ func parseWorkload(env *experiments.Env, spec string) (*core.WorkloadSpec, error
 
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "vdtune: "+format+"\n", args...)
+	closeObs() // best-effort flush of -trace-out/-metrics-out
 	os.Exit(1)
 }

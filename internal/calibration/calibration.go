@@ -34,13 +34,28 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbvirt/internal/engine"
 	"dbvirt/internal/linalg"
+	"dbvirt/internal/obs"
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/storage"
 	"dbvirt/internal/types"
 	"dbvirt/internal/vm"
+)
+
+// Always-on calibration metrics (see internal/obs). A "hit" is a cache
+// lookup answered from the per-allocation cache; a "join" piggybacks on a
+// measurement already in flight; together they are the dedup savings over
+// measures, which counts full probe suites actually run.
+var (
+	mCalHit          = obs.Global.Counter("calibration.cache.hit")
+	mCalJoin         = obs.Global.Counter("calibration.cache.inflight_join")
+	mCalMeasure      = obs.Global.Counter("calibration.measure.count")
+	hMeasureSeconds  = obs.Global.Histogram("calibration.measure.seconds")
+	gResidualCPU     = obs.Global.Gauge("calibration.residual.cpu")
+	gResidualSeqScan = obs.Global.Gauge("calibration.residual.seq")
 )
 
 // Config controls the calibration environment.
@@ -69,6 +84,10 @@ type Config struct {
 	// VM clocks never interleave and results are byte-identical to a
 	// serial run.
 	Parallelism int
+	// Obs receives per-lattice-point trace spans and residual/debug
+	// events; nil disables both. Metrics (cache hits, measurement counts,
+	// fit residuals) always go to the process-global obs registry.
+	Obs *obs.Telemetry
 }
 
 // workers resolves the configured parallelism to a worker count.
@@ -310,10 +329,12 @@ func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 	c.mu.Lock()
 	if p, ok := c.cache[key]; ok {
 		c.mu.Unlock()
+		mCalHit.Inc()
 		return p, nil
 	}
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		mCalJoin.Inc()
 		<-call.done
 		return call.p, call.err
 	}
@@ -321,9 +342,19 @@ func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 	c.inflight[key] = call
 	c.mu.Unlock()
 
+	sp := c.cfg.Obs.Span("calibrate.point")
+	sp.SetArg("cpu", shares.CPU)
+	sp.SetArg("mem", shares.Memory)
+	sp.SetArg("io", shares.IO)
+	start := time.Now()
 	if call.err = c.buildDB(); call.err == nil {
-		call.p, call.err = c.measure(shares)
+		call.p, call.err = c.measure(shares, sp)
 	}
+	if call.err == nil {
+		mCalMeasure.Inc()
+		hMeasureSeconds.ObserveSince(start)
+	}
+	sp.End()
 	c.mu.Lock()
 	if call.err == nil {
 		c.cache[key] = call.p
@@ -344,9 +375,11 @@ func (c *Calibrator) prime(shares vm.Shares, p optimizer.Params) {
 	c.mu.Unlock()
 }
 
-// measure runs the full probe suite at one allocation.
-func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
+// measure runs the full probe suite at one allocation. sp is the
+// enclosing per-point trace span (nil-safe); each stage gets a child.
+func (c *Calibrator) measure(shares vm.Shares, sp *obs.Span) (optimizer.Params, error) {
 	// --- Stage A: warm CPU probes on the narrow table ---
+	spA := sp.Child("calibrate.stage_a.cpu")
 	warm, err := c.newMeasureSession(shares)
 	if err != nil {
 		return optimizer.Params{}, err
@@ -388,8 +421,16 @@ func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
 	if tTup <= 0 || tOp <= 0 || tIdxTup <= 0 {
 		return optimizer.Params{}, fmt.Errorf("calibration: non-positive CPU parameters %v", cpuSol)
 	}
+	resA := relResidual(rows, cpuSol, rhs)
+	gResidualCPU.Set(resA)
+	spA.SetArg("residual", resA)
+	spA.End()
+	c.cfg.Obs.Debug("calibration CPU fit",
+		"cpu", shares.CPU, "mem", shares.Memory, "io", shares.IO,
+		"t_tuple", tTup, "t_op", tOp, "t_idx_tuple", tIdxTup, "residual", resA)
 
 	// --- Stage B: cold sequential scans of the big table ---
+	spB := sp.Child("calibrate.stage_b.seq")
 	// elapsed = pages*tSeq + gamma*cpu, with cpu predicted from stage A
 	// and gamma the effective (1 - overlap) factor.
 	R := c.bigRows
@@ -430,8 +471,16 @@ func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
 	if gamma < 0 {
 		gamma = 0
 	}
+	resB := relResidual(rows, seqSol, rhs)
+	gResidualSeqScan.Set(resB)
+	spB.SetArg("residual", resB)
+	spB.End()
+	c.cfg.Obs.Debug("calibration seq fit",
+		"cpu", shares.CPU, "mem", shares.Memory, "io", shares.IO,
+		"t_seq", tSeq, "gamma", gamma, "residual", resB)
 
 	// --- Stage C: cold random index probe ---
+	spC := sp.Child("calibrate.stage_c.rand")
 	cold, err := c.newMeasureSession(shares)
 	if err != nil {
 		return optimizer.Params{}, err
@@ -454,6 +503,8 @@ func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
 		// are never cheaper than sequential ones.
 		tRand = tSeq
 	}
+	spC.SetArg("t_rand", tRand)
+	spC.End()
 
 	// --- Assemble P(R) ---
 	sess, err := c.newMeasureSession(shares)
@@ -483,4 +534,24 @@ func (c *Calibrator) measure(shares vm.Shares) (optimizer.Params, error) {
 	}
 	c.measures.Add(1)
 	return p, nil
+}
+
+// relResidual is the relative RMS residual ‖A·x − b‖/‖b‖ of a
+// least-squares fit — the calibration's per-stage goodness-of-fit number
+// exported as a gauge and logged per lattice point.
+func relResidual(rows [][]float64, x, b []float64) float64 {
+	var num, den float64
+	for i, row := range rows {
+		pred := 0.0
+		for j, a := range row {
+			pred += a * x[j]
+		}
+		d := pred - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
 }

@@ -71,6 +71,10 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 	if workers > n {
 		workers = n
 	}
+	sp := c.cfg.Obs.Span("calibrate.grid")
+	sp.SetArg("points", n)
+	sp.SetArg("workers", workers)
+	defer sp.End()
 
 	// Per-worker calibrators: worker 0 reuses this calibrator (and its
 	// warm cache); extra workers get fresh instances built from the same
@@ -137,6 +141,8 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 			}
 		}
 	}
+	c.cfg.Obs.Info("grid calibrated", "points", n, "workers", workers,
+		"cpu_axis", len(g.cpus), "mem_axis", len(g.mems), "io_axis", len(g.ios))
 	return g, nil
 }
 

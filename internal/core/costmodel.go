@@ -49,6 +49,7 @@ func (m *WhatIfModel) params(shares vm.Shares) (optimizer.Params, error) {
 
 // Cost implements CostModel.
 func (m *WhatIfModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	mWhatIfCalls.Inc()
 	p, err := m.params(shares)
 	if err != nil {
 		return 0, err

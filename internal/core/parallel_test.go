@@ -104,6 +104,13 @@ func TestParallelSolversMatchSerial(t *testing.T) {
 				if err != nil {
 					t.Fatalf("j=%d: %v", j, err)
 				}
+				if r.Elapsed <= 0 {
+					t.Fatalf("j=%d: Elapsed not recorded", j)
+				}
+				// Elapsed is wall clock — the one documented
+				// non-deterministic field; everything else (including
+				// Evaluations and CacheHits) must match bit-for-bit.
+				r.Elapsed = 0
 				results = append(results, r)
 			}
 			for i := 1; i < len(results); i++ {

@@ -22,9 +22,24 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dbvirt/internal/engine"
+	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
+)
+
+// Always-on cost-cache metrics (see internal/obs): one atomic update per
+// cache lookup. By construction mCacheMiss equals the sum of
+// Result.Evaluations over all solves in the process.
+var (
+	mCacheHit     = obs.Global.Counter("core.cache.hit")
+	mCacheMiss    = obs.Global.Counter("core.cache.miss")
+	mCacheInWait  = obs.Global.Counter("core.cache.inflight_wait")
+	mSolveCount   = obs.Global.Counter("core.solve.count")
+	mWhatIfCalls  = obs.Global.Counter("core.whatif.cost_calls")
+	hEvalSeconds  = obs.Global.Histogram("core.eval.seconds")
+	hSolveSeconds = obs.Global.Histogram("core.solve.seconds")
 )
 
 // WorkloadSpec is one workload W_i: a sequence of SQL statements against
@@ -103,6 +118,11 @@ type Problem struct {
 	// byte-identical at every setting: workers write into pre-indexed
 	// slots and ties break by allocation order, never completion order.
 	Parallelism int
+	// Obs receives trace spans and progress events from the solvers; nil
+	// (the default) disables both at the cost of a nil check. Metrics
+	// (cache hit/miss counters, evaluation latency) are always recorded
+	// against the process-global obs registry and never affect results.
+	Obs *obs.Telemetry
 }
 
 // workers resolves the configured parallelism to a worker count.
@@ -211,12 +231,20 @@ type Result struct {
 	PredictedCosts []float64 // per workload, model units (seconds)
 	PredictedTotal float64   // objective value
 	Evaluations    int       // cost-model invocations (cache misses)
+	// CacheHits counts cost-cache lookups answered without a new model
+	// invocation (map hits plus joined in-flight computations). Lookups
+	// and misses are both scheduling-independent, so CacheHits is too.
+	CacheHits int
+	// Elapsed is the wall-clock duration of the solve. It is the one
+	// non-deterministic field of a Result.
+	Elapsed time.Duration
 }
 
 // String summarizes the result.
 func (r *Result) String() string {
-	return fmt.Sprintf("%s: %s (predicted %.3fs, %d evals)",
-		r.Algorithm, r.Allocation, r.PredictedTotal, r.Evaluations)
+	return fmt.Sprintf("%s: %s (predicted %.3fs, %d evals, %d cache hits, %s)",
+		r.Algorithm, r.Allocation, r.PredictedTotal, r.Evaluations,
+		r.CacheHits, r.Elapsed.Round(time.Microsecond))
 }
 
 // evaluate computes the objective of an allocation, using a memoizing
@@ -248,6 +276,7 @@ type costCache struct {
 	inner  CostModel
 	shards [cacheShards]costShard
 	evals  atomic.Int64
+	hits   atomic.Int64
 }
 
 type costShard struct {
@@ -297,16 +326,29 @@ func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, er
 	sh.mu.Lock()
 	if e, ok := sh.entries[k]; ok {
 		sh.mu.Unlock()
-		<-e.done
+		// A hit regardless of whether the computation already finished;
+		// the split is only visible in the global metrics, keeping the
+		// per-solve hit count scheduling-independent.
+		m.hits.Add(1)
+		mCacheHit.Inc()
+		select {
+		case <-e.done:
+		default:
+			mCacheInWait.Inc()
+			<-e.done
+		}
 		return e.val, e.err
 	}
 	e := &costEntry{done: make(chan struct{})}
 	sh.entries[k] = e
 	sh.mu.Unlock()
 
+	start := time.Now()
 	e.val, e.err = m.inner.Cost(w, shares)
 	if e.err == nil {
 		m.evals.Add(1)
+		mCacheMiss.Inc()
+		hEvalSeconds.ObserveSince(start)
 	}
 	close(e.done)
 	if e.err != nil {
@@ -320,3 +362,7 @@ func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, er
 // evaluations returns the number of successful cost-model invocations
 // (cache misses) so far.
 func (m *costCache) evaluations() int { return int(m.evals.Load()) }
+
+// cacheHits returns the number of lookups served from the cache
+// (including joined in-flight computations).
+func (m *costCache) cacheHits() int { return int(m.hits.Load()) }

@@ -3,9 +3,27 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
+	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
 )
+
+// finishSolve stamps the bookkeeping shared by every solver onto r: the
+// cache counters, the wall clock, the global solve metrics, and the span
+// (nil-safe) annotated with the solve's shape.
+func finishSolve(r *Result, memo *costCache, start time.Time, sp *obs.Span) *Result {
+	r.Evaluations = memo.evaluations()
+	r.CacheHits = memo.cacheHits()
+	r.Elapsed = time.Since(start)
+	mSolveCount.Inc()
+	hSolveSeconds.Observe(r.Elapsed.Seconds())
+	sp.SetArg("evaluations", r.Evaluations)
+	sp.SetArg("cache_hits", r.CacheHits)
+	sp.SetArg("total", r.PredictedTotal)
+	sp.End()
+	return r
+}
 
 // sharesFromUnits builds one workload's Shares from per-searched-resource
 // unit counts (units is aligned with p.Resources); non-searched resources
@@ -92,6 +110,9 @@ func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	startT := time.Now()
+	sp := p.Obs.Span("core.solve.exhaustive")
+	defer sp.End() // idempotent; covers the error returns
 	memo := newCostCache(model)
 	perRes := make([][][]int, len(p.Resources))
 	numCands := 1
@@ -161,13 +182,13 @@ func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
 			best = c
 		}
 	}
-	return &Result{
+	sp.SetArg("candidates", numCands)
+	return finishSolve(&Result{
 		Algorithm:      "exhaustive",
 		Allocation:     best.alloc,
 		PredictedCosts: best.costs,
 		PredictedTotal: best.total,
-		Evaluations:    memo.evaluations(),
-	}, nil
+	}, memo, startT, sp), nil
 }
 
 // SolveDP solves the problem exactly by dynamic programming over
@@ -179,6 +200,9 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	startT := time.Now()
+	sp := p.Obs.Span("core.solve.dp")
+	defer sp.End()
 	memo := newCostCache(model)
 	n := len(p.Workloads)
 	nr := len(p.Resources)
@@ -284,13 +308,13 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	sp.SetArg("states", len(table))
+	return finishSolve(&Result{
 		Algorithm:      "dp",
 		Allocation:     alloc,
 		PredictedCosts: costs,
 		PredictedTotal: total,
-		Evaluations:    memo.evaluations(),
-	}, nil
+	}, memo, startT, sp), nil
 }
 
 // greedyMove is one candidate quantum shift: one unit of resource
@@ -311,6 +335,9 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	startT := time.Now()
+	sp := p.Obs.Span("core.solve.greedy")
+	defer sp.End()
 	memo := newCostCache(model)
 	n := len(p.Workloads)
 	min := p.minUnits()
@@ -338,7 +365,7 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 	}
 
 	var moves []greedyMove
-	for {
+	for round := 1; ; round++ {
 		// Enumerate this round's feasible moves in deterministic order.
 		moves = moves[:0]
 		for ri := range p.Resources {
@@ -399,6 +426,8 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 			}
 		}
 		if bestMove < 0 {
+			p.Obs.Debug("greedy converged", "round", round,
+				"moves", len(moves), "total", bestTotal)
 			break
 		}
 		// The winner's total and per-workload costs are already known from
@@ -409,15 +438,17 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 		alloc = p.allocationFromResUnits(resUnits)
 		bestTotal = bestMoveTotal
 		bestCosts = costs[bestMove]
+		p.Obs.Debug("greedy round", "round", round, "moves", len(moves),
+			"resource", int(p.Resources[mv.ri]), "donor", mv.donor,
+			"recv", mv.recv, "total", bestTotal)
 	}
 
-	return &Result{
+	return finishSolve(&Result{
 		Algorithm:      "greedy",
 		Allocation:     alloc,
 		PredictedCosts: bestCosts,
 		PredictedTotal: bestTotal,
-		Evaluations:    memo.evaluations(),
-	}, nil
+	}, memo, startT, sp), nil
 }
 
 // EvaluateAllocation scores an arbitrary allocation (e.g. the equal-shares
@@ -429,16 +460,18 @@ func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name stri
 	if len(alloc) != len(p.Workloads) {
 		return nil, fmt.Errorf("core: allocation has %d entries for %d workloads", len(alloc), len(p.Workloads))
 	}
+	startT := time.Now()
+	sp := p.Obs.Span("core.evaluate." + name)
+	defer sp.End()
 	memo := newCostCache(model)
 	total, costs, err := p.evaluate(memo, alloc)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	return finishSolve(&Result{
 		Algorithm:      name,
 		Allocation:     alloc.Clone(),
 		PredictedCosts: costs,
 		PredictedTotal: total,
-		Evaluations:    memo.evaluations(),
-	}, nil
+	}, memo, startT, sp), nil
 }

@@ -160,14 +160,37 @@ func TestExplainAnalyze(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"actual rows=", "HashAggregate", "simulated", "seq"} {
+	for _, want := range []string{"actual time=", "HashAggregate", "simulated", "seq"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("explain analyze missing %q:\n%s", want, out)
 		}
 	}
 	// The scan's actual row count (50 of 100) must appear.
-	if !strings.Contains(out, "actual rows=50") {
+	if !strings.Contains(out, "rows=50 loops=1") {
 		t.Errorf("expected actual rows=50 somewhere:\n%s", out)
+	}
+}
+
+// TestExplainAnalyzeStatement checks that the SQL form EXPLAIN ANALYZE
+// routes through Explain and carries per-operator actual rows and time.
+func TestExplainAnalyzeStatement(t *testing.T) {
+	s := setupDML(t)
+	out, err := s.Explain("EXPLAIN ANALYZE SELECT qty FROM items WHERE id <= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"actual time=", "rows=50 loops=1", "simulated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE missing %q:\n%s", want, out)
+		}
+	}
+	// Plain EXPLAIN must not execute: no actual annotations.
+	plain, err := s.Explain("EXPLAIN SELECT qty FROM items WHERE id <= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain, "actual") {
+		t.Errorf("plain EXPLAIN must not execute:\n%s", plain)
 	}
 }
 

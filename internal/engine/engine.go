@@ -308,6 +308,9 @@ func (s *Session) Explain(src string) (string, error) {
 			if err != nil {
 				return "", err
 			}
+			if ex.Analyze {
+				return s.explainAnalyzePlan(pl)
+			}
 			return pl.Explain(), nil
 		}
 	}
@@ -320,13 +323,20 @@ func (s *Session) Explain(src string) (string, error) {
 
 // ExplainAnalyze plans a SELECT under the session's parameters, executes
 // it (discarding result rows), and returns the plan annotated with actual
-// per-node row counts plus the measured simulated resource usage — the
-// engine's EXPLAIN ANALYZE.
+// per-node row counts and simulated per-operator time next to the
+// estimates, plus the measured total resource usage — the engine's
+// EXPLAIN ANALYZE.
 func (s *Session) ExplainAnalyze(src string) (string, error) {
 	pl, err := s.Plan(src, s.Params)
 	if err != nil {
 		return "", err
 	}
+	return s.explainAnalyzePlan(pl)
+}
+
+// explainAnalyzePlan executes an already-optimized plan with statistics
+// collection and renders the annotated tree.
+func (s *Session) explainAnalyzePlan(pl *optimizer.Plan) (string, error) {
 	ctx := s.execContext()
 	ctx.Stats = executor.NewStatsCollector()
 	start := s.VM.Snapshot()
@@ -349,12 +359,22 @@ func (s *Session) ExplainAnalyze(src string) (string, error) {
 	res.Close()
 	used := s.VM.Since(start)
 
+	// Per-node annotation: measured (inclusive) simulated time and rows
+	// next to the optimizer's estimate, so estimate vs actual is diffable
+	// operator by operator, PostgreSQL-style.
+	overlap := s.VM.Machine().Config().Overlap
 	out := pl.ExplainAnnotated(func(n optimizer.Node) string {
 		st := ctx.Stats.For(n)
 		if st == nil {
 			return "never executed"
 		}
-		return fmt.Sprintf("actual rows=%d loops=%d", st.Rows, st.Loops)
+		actual := fmt.Sprintf("actual time=%.6fs rows=%d loops=%d",
+			st.Usage.Elapsed(overlap), st.Rows, st.Loops)
+		if pl.Params.TimePerSeqPage > 0 {
+			return fmt.Sprintf("est time=%.6fs, %s",
+				pl.Params.EstimateSeconds(n.Cost()), actual)
+		}
+		return actual
 	})
 	out += fmt.Sprintf(
 		"actual: %d rows, %.6fs simulated (cpu %.6fs, io %.6fs; %d seq + %d rand reads, %d writes)\n",

@@ -137,7 +137,7 @@ func build(n optimizer.Node, ctx *Context) (iterator, error) {
 	if err != nil || ctx.Stats == nil {
 		return it, err
 	}
-	return &statIter{inner: it, stats: ctx.Stats.register(n)}, nil
+	return &statIter{inner: it, stats: ctx.Stats.register(n), vm: ctx.VM}, nil
 }
 
 func buildRaw(n optimizer.Node, ctx *Context) (iterator, error) {

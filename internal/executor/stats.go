@@ -3,6 +3,7 @@ package executor
 import (
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/plan"
+	"dbvirt/internal/vm"
 )
 
 // NodeStats records what one plan operator actually did during execution,
@@ -12,6 +13,10 @@ type NodeStats struct {
 	Rows int64
 	// Loops counts how many times the operator was opened (rescans).
 	Loops int64
+	// Usage is the simulated VM usage charged while this operator (and,
+	// as in PostgreSQL's "actual time", its children) was producing rows:
+	// inclusive, measured as VM-clock deltas around each Next call.
+	Usage vm.Usage
 }
 
 // StatsCollector accumulates per-node execution statistics when attached
@@ -45,14 +50,19 @@ func (c *StatsCollector) register(n optimizer.Node) *NodeStats {
 	return st
 }
 
-// statIter wraps an iterator and counts its output rows.
+// statIter wraps an iterator, counting its output rows and attributing
+// the VM usage of each Next call to the node. The delta includes the
+// node's children (they run inside inner.Next), so Usage is inclusive.
 type statIter struct {
 	inner iterator
 	stats *NodeStats
+	vm    *vm.VM
 }
 
 func (s *statIter) Next() (plan.Row, bool, error) {
+	before := s.vm.Snapshot()
 	row, ok, err := s.inner.Next()
+	s.stats.Usage = s.stats.Usage.Add(s.vm.Since(before))
 	if ok {
 		s.stats.Rows++
 	}

@@ -48,6 +48,7 @@ func (e *Env) AblationSearch(n int, step float64) ([]SearchRow, error) {
 		Resources:   []vm.Resource{vm.CPU},
 		Step:        step,
 		Parallelism: e.Parallelism,
+		Obs:         e.Obs,
 	}
 
 	type solver struct {
@@ -254,6 +255,7 @@ func (e *Env) DynamicReconfig() (*DynamicResult, error) {
 			Resources:   []vm.Resource{vm.CPU},
 			Step:        0.25,
 			Parallelism: e.Parallelism,
+			Obs:         e.Obs,
 		}
 	}
 
@@ -347,6 +349,7 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 		Resources:   []vm.Resource{vm.CPU, vm.IO},
 		Step:        0.25,
 		Parallelism: e.Parallelism,
+		Obs:         e.Obs,
 	}
 	unconstrained, err := core.SolveDP(base, model)
 	if err != nil {
@@ -362,6 +365,7 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 		Step:        0.25,
 		Objective:   core.Objective{SLOPenalty: 50},
 		Parallelism: e.Parallelism,
+		Obs:         e.Obs,
 	}
 	sol, err := core.SolveDP(constrained, model)
 	if err != nil {
@@ -432,6 +436,7 @@ func (e *Env) MemoryDimension() (*MemoryDimensionResult, error) {
 		Resources:   []vm.Resource{vm.CPU},
 		Step:        0.25,
 		Parallelism: env.Parallelism,
+		Obs:         env.Obs,
 	}, model)
 	if err != nil {
 		return nil, err
@@ -441,6 +446,7 @@ func (e *Env) MemoryDimension() (*MemoryDimensionResult, error) {
 		Resources:   []vm.Resource{vm.CPU, vm.Memory},
 		Step:        0.25,
 		Parallelism: env.Parallelism,
+		Obs:         env.Obs,
 	}, model)
 	if err != nil {
 		return nil, err

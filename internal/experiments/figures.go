@@ -173,6 +173,7 @@ func (e *Env) Figure5() (*Fig5Result, error) {
 		Resources:   []vm.Resource{vm.CPU},
 		Step:        0.25,
 		Parallelism: e.Parallelism,
+		Obs:         e.Obs,
 	}
 	sol, err := core.SolveDP(problem, model)
 	if err != nil {

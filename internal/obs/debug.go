@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the expvar registration (expvar.Publish panics on
+// duplicate names).
+var publishOnce sync.Once
+
+// publishExpvar exposes the Global registry snapshot under the expvar
+// name "dbvirt_metrics".
+func publishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("dbvirt_metrics", expvar.Func(func() any {
+			return Global.Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP debug endpoint on addr in a background
+// goroutine, exposing /debug/vars (expvar, including the Global metrics
+// registry), /debug/pprof, and /metrics (the registry snapshot as plain
+// JSON). It returns the bound address (useful with ":0") or an error if
+// the listener cannot be created.
+func ServeDebug(addr string) (string, error) {
+	publishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		Global.WriteJSON(w)
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go http.Serve(ln, mux)
+	return ln.Addr().String(), nil
+}

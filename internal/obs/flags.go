@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags is the shared telemetry flag bundle of the CLIs: every command
+// registers the same -trace-out, -metrics-out, -log-level/-v,
+// -debug-addr, and -version flags and hands them to Setup.
+type Flags struct {
+	TraceOut   string
+	MetricsOut string
+	DebugAddr  string
+	LogLevel   string
+	Verbose    bool
+	Version    bool
+}
+
+// Register adds the telemetry flags to a flag set.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write a Chrome trace_event JSON file here on exit")
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", "write the metrics registry as JSON here on exit")
+	fs.StringVar(&f.DebugAddr, "debug-addr", "", "serve /debug/vars, /debug/pprof, and /metrics on this address")
+	fs.StringVar(&f.LogLevel, "log-level", "info", "structured log level: debug, info, warn, error")
+	fs.BoolVar(&f.Verbose, "v", false, "shorthand for -log-level debug")
+	fs.BoolVar(&f.Version, "version", false, "print the build version and exit")
+}
+
+// Setup applies the parsed flags for the named tool. It returns the
+// telemetry bundle to plumb through the layers and a close function that
+// flushes -trace-out and -metrics-out; handled is true when -version was
+// requested and printed (the caller should exit). Logs go to stderr.
+func (f *Flags) Setup(tool string) (tel *Telemetry, closeFn func() error, handled bool, err error) {
+	if f.Version {
+		fmt.Printf("%s %s\n", tool, Version())
+		return nil, func() error { return nil }, true, nil
+	}
+	level := LevelInfo
+	if f.LogLevel != "" {
+		if level, err = ParseLevel(f.LogLevel); err != nil {
+			return nil, nil, false, err
+		}
+	}
+	if f.Verbose {
+		level = LevelDebug
+	}
+	var tracer *Tracer
+	if f.TraceOut != "" {
+		tracer = NewTracer()
+	}
+	var logger *Logger
+	if f.TraceOut != "" || f.MetricsOut != "" || f.DebugAddr != "" || f.Verbose || f.LogLevel != "info" {
+		logger = NewLogger(os.Stderr, level)
+	}
+	tel = New(tracer, logger)
+	if f.DebugAddr != "" {
+		addr, err := ServeDebug(f.DebugAddr)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("debug server: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: debug server on http://%s/debug/pprof (metrics at /metrics)\n", tool, addr)
+	}
+	closeFn = func() error {
+		var firstErr error
+		if tracer != nil && f.TraceOut != "" {
+			if err := tracer.WriteChromeFile(f.TraceOut); err != nil {
+				firstErr = err
+			}
+		}
+		if f.MetricsOut != "" {
+			if err := writeRegistryFile(tel.Registry(), f.MetricsOut); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return tel, closeFn, false, nil
+}
+
+// writeRegistryFile dumps one registry to a path.
+func writeRegistryFile(r *Registry, path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

@@ -1,0 +1,98 @@
+// Package obs is the repo's dependency-free telemetry subsystem: an
+// atomic metrics registry (counters, gauges, bounded histograms), a
+// hierarchical tracer exportable as Chrome trace_event JSON, and a
+// leveled structured (JSON-lines) event logger.
+//
+// Two usage modes coexist:
+//
+//   - Metrics are always on. Instrumented packages resolve their
+//     counters once (usually in a package var) against the process-wide
+//     Global registry; an update is a single atomic add, so the
+//     always-on cost is negligible even on hot paths. CLIs dump the
+//     registry with -metrics-out and publish it over expvar with
+//     -debug-addr.
+//
+//   - Traces and logs are opt-in. A *Telemetry bundle is plumbed through
+//     the layers (core.Problem.Obs, calibration.Config.Obs,
+//     experiments.Env.Obs); a nil *Telemetry — the default everywhere —
+//     makes every span and log call a nil-check no-op, so instrumented
+//     code never branches on configuration.
+//
+// Nothing in this package imports other dbvirt packages, so any layer
+// (vm, optimizer, executor, ...) may depend on it without cycles.
+package obs
+
+import "io"
+
+// Global is the process-wide metrics registry. Instrumented packages
+// register their counters, gauges, and histograms here; CLIs snapshot it
+// for -metrics-out and -debug-addr.
+var Global = NewRegistry()
+
+// Telemetry bundles the opt-in telemetry sinks handed down through the
+// layers. A nil *Telemetry is fully usable: every method no-ops.
+type Telemetry struct {
+	// Metrics is the registry snapshotted by exports; it defaults to
+	// Global and exists as a field so tests can isolate a registry.
+	Metrics *Registry
+	// Trace collects spans when non-nil.
+	Trace *Tracer
+	// Log receives structured events when non-nil.
+	Log *Logger
+}
+
+// New builds a telemetry bundle over the Global metrics registry.
+func New(tracer *Tracer, logger *Logger) *Telemetry {
+	return &Telemetry{Metrics: Global, Trace: tracer, Log: logger}
+}
+
+// Registry returns the bundle's metrics registry (Global when unset),
+// never nil, so callers can register ad-hoc gauges against it.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil || t.Metrics == nil {
+		return Global
+	}
+	return t.Metrics
+}
+
+// Span starts a root span, or returns nil (a no-op span) when tracing is
+// off.
+func (t *Telemetry) Span(name string) *Span {
+	if t == nil || t.Trace == nil {
+		return nil
+	}
+	return t.Trace.Start(name)
+}
+
+// Debug logs at debug level; kv are alternating key/value pairs.
+func (t *Telemetry) Debug(msg string, kv ...any) {
+	if t != nil {
+		t.Log.Debug(msg, kv...)
+	}
+}
+
+// Info logs at info level.
+func (t *Telemetry) Info(msg string, kv ...any) {
+	if t != nil {
+		t.Log.Info(msg, kv...)
+	}
+}
+
+// Warn logs at warn level.
+func (t *Telemetry) Warn(msg string, kv ...any) {
+	if t != nil {
+		t.Log.Warn(msg, kv...)
+	}
+}
+
+// Error logs at error level.
+func (t *Telemetry) Error(msg string, kv ...any) {
+	if t != nil {
+		t.Log.Error(msg, kv...)
+	}
+}
+
+// WriteMetrics writes the bundle's registry snapshot as JSON.
+func (t *Telemetry) WriteMetrics(w io.Writer) error {
+	return t.Registry().WriteJSON(w)
+}

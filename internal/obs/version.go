@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version describes the running binary from the embedded Go build info:
+// module version, VCS revision (with a "-dirty" suffix when the working
+// tree had uncommitted changes), and the Go toolchain.
+func Version() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "(no build info) " + runtime.Version()
+	}
+	version := info.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return fmt.Sprintf("%s (%s%s, %s)", version, rev, modified, runtime.Version())
+	}
+	return fmt.Sprintf("%s (%s)", version, runtime.Version())
+}

@@ -3,8 +3,14 @@ package optimizer
 import (
 	"fmt"
 
+	"dbvirt/internal/obs"
 	"dbvirt/internal/plan"
 )
+
+// mOptimizeCalls counts every what-if planning invocation process-wide;
+// together with core.whatif.cost_calls it shows how many plans each
+// cost-model call amortizes over.
+var mOptimizeCalls = obs.Global.Counter("optimizer.optimize.calls")
 
 // Plan is an optimized physical plan together with the query and parameter
 // vector it was planned under.
@@ -23,11 +29,55 @@ func (p *Plan) TotalCost() float64 { return p.Root.Cost().Total }
 // components with the machine's calibrated overlap factor.
 func (p *Plan) EstimatedSeconds() float64 { return p.Params.EstimateSeconds(p.Root.Cost()) }
 
+// NodeCost is one operator's entry in a Plan.CostBreakdown, in preorder.
+type NodeCost struct {
+	Name  string
+	Depth int      // 0 = plan root
+	Rows  float64  // estimated output cardinality
+	Cost  Cost     // inclusive: children's costs are part of Total
+	Self  float64  // Total minus the children's Totals (this operator's own work)
+	Extra []string // operator detail (relation, predicates, keys)
+}
+
+// CostBreakdown decomposes the plan cost operator by operator: each node's
+// inclusive cost plus the self cost obtained by subtracting its children.
+// Self costs sum to the root's Total, so the breakdown shows where the
+// optimizer thinks the time goes — the estimated counterpart of EXPLAIN
+// ANALYZE's measured per-node usage.
+func (p *Plan) CostBreakdown() []NodeCost {
+	var out []NodeCost
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		c := n.Cost()
+		self := c.Total
+		for _, ch := range n.children() {
+			self -= ch.Cost().Total
+		}
+		if self < 0 {
+			self = 0
+		}
+		out = append(out, NodeCost{
+			Name:  n.name(),
+			Depth: depth,
+			Rows:  n.Rows(),
+			Cost:  c,
+			Self:  self,
+			Extra: n.detail(),
+		})
+		for _, ch := range n.children() {
+			walk(ch, depth+1)
+		}
+	}
+	walk(p.Root, 0)
+	return out
+}
+
 // Optimize plans a bound query under the given parameter vector. This is
 // the virtualization-aware what-if entry point: nothing is executed, and
 // the same query can be re-planned under the calibrated P(R) of any
 // candidate resource allocation.
 func Optimize(q *plan.Query, p Params) (*Plan, error) {
+	mOptimizeCalls.Inc()
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}

@@ -599,3 +599,36 @@ func TestMergeJoinCandidateChosenForSortedInputs(t *testing.T) {
 		t.Errorf("width = %d", mj.Width())
 	}
 }
+
+// TestCostBreakdown checks the per-node cost decomposition: preorder
+// layout, inclusive costs matching the nodes, and self costs summing
+// back to the plan total.
+func TestCostBreakdown(t *testing.T) {
+	cat := fixture(t)
+	pl := planFor(t, cat,
+		"SELECT c_name, o_total FROM customer, orders WHERE c_custkey = o_custkey AND o_total > 500",
+		DefaultParams())
+	bd := pl.CostBreakdown()
+	if len(bd) < 4 { // project + join + two inputs at minimum
+		t.Fatalf("breakdown has %d nodes:\n%s", len(bd), pl.Explain())
+	}
+	if bd[0].Depth != 0 || bd[0].Cost.Total != pl.TotalCost() {
+		t.Fatalf("root entry = %+v, want depth 0 with total %g", bd[0], pl.TotalCost())
+	}
+	var selfSum float64
+	for i, nc := range bd {
+		if nc.Self < 0 {
+			t.Errorf("node %d (%s): negative self cost %g", i, nc.Name, nc.Self)
+		}
+		if nc.Self > nc.Cost.Total+1e-9 {
+			t.Errorf("node %d (%s): self %g exceeds inclusive %g", i, nc.Name, nc.Self, nc.Cost.Total)
+		}
+		if i > 0 && nc.Depth < 1 {
+			t.Errorf("node %d (%s): preorder depth %d, want >= 1", i, nc.Name, nc.Depth)
+		}
+		selfSum += nc.Self
+	}
+	if !approxEq(selfSum, pl.TotalCost()) {
+		t.Errorf("self costs sum to %g, want plan total %g", selfSum, pl.TotalCost())
+	}
+}

@@ -144,9 +144,12 @@ type AnalyzeStmt struct {
 	Table string
 }
 
-// ExplainStmt wraps a SELECT whose plan should be shown, not run.
+// ExplainStmt wraps a SELECT whose plan should be shown. With Analyze
+// set (EXPLAIN ANALYZE) the query is also executed and the plan is
+// annotated with actual per-operator rows and simulated time.
 type ExplainStmt struct {
-	Query *SelectStmt
+	Query   *SelectStmt
+	Analyze bool
 }
 
 func (*SelectStmt) stmt()      {}

@@ -130,14 +130,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseAnalyze()
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
+		analyze := p.acceptKeyword("ANALYZE")
 		if !p.peekKeyword("SELECT") {
+			if analyze {
+				return nil, p.errorf("EXPLAIN ANALYZE supports only SELECT")
+			}
 			return nil, p.errorf("EXPLAIN supports only SELECT")
 		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel.(*SelectStmt)}, nil
+		return &ExplainStmt{Query: sel.(*SelectStmt), Analyze: analyze}, nil
 	default:
 		return nil, p.errorf("expected a statement")
 	}

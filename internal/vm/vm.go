@@ -288,7 +288,7 @@ type Usage struct {
 
 // Elapsed returns the simulated wall-clock seconds corresponding to this
 // usage under the machine's CPU/I-O overlap model.
-func (u Usage) elapsed(overlap float64) float64 {
+func (u Usage) Elapsed(overlap float64) float64 {
 	lo := math.Min(u.CPUSeconds, u.IOSeconds)
 	return u.CPUSeconds + u.IOSeconds - overlap*lo
 }
@@ -302,6 +302,19 @@ func (u Usage) Sub(o Usage) Usage {
 		SeqReads:   u.SeqReads - o.SeqReads,
 		RandReads:  u.RandReads - o.RandReads,
 		Writes:     u.Writes - o.Writes,
+	}
+}
+
+// Add returns the component-wise sum of u and o; used to accumulate
+// per-interval deltas (e.g. EXPLAIN ANALYZE's per-operator usage).
+func (u Usage) Add(o Usage) Usage {
+	return Usage{
+		CPUSeconds: u.CPUSeconds + o.CPUSeconds,
+		IOSeconds:  u.IOSeconds + o.IOSeconds,
+		CPUOps:     u.CPUOps + o.CPUOps,
+		SeqReads:   u.SeqReads + o.SeqReads,
+		RandReads:  u.RandReads + o.RandReads,
+		Writes:     u.Writes + o.Writes,
 	}
 }
 
@@ -419,12 +432,12 @@ func (v *VM) Since(start Usage) Usage { return v.usage.Sub(start) }
 
 // Elapsed returns the total simulated wall-clock seconds of the VM under
 // the machine's overlap model.
-func (v *VM) Elapsed() float64 { return v.usage.elapsed(v.machine.cfg.Overlap) }
+func (v *VM) Elapsed() float64 { return v.usage.Elapsed(v.machine.cfg.Overlap) }
 
 // ElapsedSince returns the simulated wall-clock seconds between the given
 // snapshot and now.
 func (v *VM) ElapsedSince(start Usage) float64 {
-	return v.usage.Sub(start).elapsed(v.machine.cfg.Overlap)
+	return v.usage.Sub(start).Elapsed(v.machine.cfg.Overlap)
 }
 
 // Rates describes the effective resource rates a VM sees under its current
