@@ -3,12 +3,21 @@
 // parameter vectors P(R). With -json it also writes the lattice as JSON
 // so the values can be inspected or post-processed.
 //
+// Long calibrations are interruptible and restartable: -timeout bounds
+// the whole run, -checkpoint persists completed lattice points as the
+// run progresses, and -resume picks a checkpointed run back up without
+// repeating finished measurements. -faults injects deterministic
+// measurement faults (see internal/faults) to exercise the retry and
+// recovery paths.
+//
 // Usage:
 //
 //	calibrate [-cpu 0.25,0.5,0.75] [-mem 0.5] [-io 0.5] [-quick] [-json file]
+//	          [-checkpoint file [-resume]] [-timeout 10m] [-faults spec] [-trials k]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +25,7 @@ import (
 	"strings"
 
 	"dbvirt/internal/calibration"
+	"dbvirt/internal/faults"
 	"dbvirt/internal/obs"
 	"dbvirt/internal/vm"
 )
@@ -37,6 +47,11 @@ func main() {
 	quick := flag.Bool("quick", false, "use a small machine and calibration database")
 	jsonPath := flag.String("json", "", "write the calibrated lattice as JSON to this file")
 	jobs := flag.Int("j", 0, "worker-pool size for lattice calibration (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", "", "persist completed lattice points to this file as the run progresses")
+	resume := flag.Bool("resume", false, "restore completed points from -checkpoint before calibrating")
+	timeout := flag.Duration("timeout", 0, "abort the calibration after this duration (0 = no limit)")
+	faultSpec := flag.String("faults", "", "inject deterministic measurement faults, e.g. \"seed=42,transient=0.1,noise=0.05\" (overrides "+faults.EnvVar+")")
+	trials := flag.Int("trials", 0, "timed trials per probe, aggregated by trimmed median (0 = auto)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -53,11 +68,19 @@ func main() {
 
 	cfg := calibration.DefaultConfig()
 	cfg.Parallelism = *jobs
+	cfg.Trials = *trials
 	cfg.Obs = tel
 	if *quick {
 		cfg.Machine.MemBytes = 8 << 20
 		cfg.NarrowRows = 4000
 		cfg.BigRows = 20000
+	}
+	if *faultSpec != "" {
+		fcfg, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fail("-faults: %v", err)
+		}
+		cfg.Faults = faults.New(fcfg)
 	}
 	cal := calibration.New(cfg)
 
@@ -65,8 +88,23 @@ func main() {
 	memAxis := parseAxis(*mems)
 	ioAxis := parseAxis(*ios)
 
-	grid, err := cal.CalibrateGrid(cpuAxis, memAxis, ioAxis)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *resume && *checkpoint == "" {
+		fail("-resume requires -checkpoint")
+	}
+	grid, err := cal.CalibrateGridOpts(ctx, cpuAxis, memAxis, ioAxis, calibration.GridOptions{
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	})
 	if err != nil {
+		if *checkpoint != "" {
+			fail("%v\n(completed points are checkpointed in %s; rerun with -resume to continue)", err, *checkpoint)
+		}
 		fail("%v", err)
 	}
 

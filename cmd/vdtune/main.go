@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -106,7 +107,7 @@ func main() {
 	model := &core.WhatIfModel{Cal: env.Calibrator()}
 
 	fmt.Printf("Calibrating and solving (%s, step %.0f%%)...\n", *algo, *step*100)
-	var solve func(*core.Problem, core.CostModel) (*core.Result, error)
+	var solve func(context.Context, *core.Problem, core.CostModel) (*core.Result, error)
 	switch *algo {
 	case "dp":
 		solve = core.SolveDP
@@ -117,7 +118,7 @@ func main() {
 	default:
 		fail("unknown algorithm %q", *algo)
 	}
-	sol, err := solve(problem, model)
+	sol, err := solve(context.Background(), problem, model)
 	if err != nil {
 		fail("solve: %v", err)
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 		Resources: []vm.Resource{vm.CPU},
 		Step:      0.25,
 	}
-	sol, err := core.SolveDP(problem, model)
+	sol, err := core.SolveDP(context.Background(), problem, model)
 	if err != nil {
 		log.Fatal(err)
 	}

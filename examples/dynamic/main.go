@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,7 +47,7 @@ func main() {
 	}
 
 	// Initial design for phase 1.
-	sol, err := core.SolveDP(problem(phase1), model)
+	sol, err := core.SolveDP(context.Background(), problem(phase1), model)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func main() {
 	// the running VMs.
 	fmt.Println("\n>>> workload phase change detected; reconfiguring...")
 	ctrl := &core.Controller{Machine: dep.Machine, Model: model}
-	newSol, err := ctrl.Reconfigure(problem(phase2), dep.VMs)
+	newSol, err := ctrl.Reconfigure(context.Background(), problem(phase2), dep.VMs)
 	if err != nil {
 		log.Fatal(err)
 	}

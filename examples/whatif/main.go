@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 
 	fmt.Println("Calibrating P(R) for each allocation...")
 	for _, sh := range shares {
-		p, err := env.Calibrator().Calibrate(sh)
+		p, err := env.Calibrator().Calibrate(context.Background(), sh)
 		if err != nil {
 			log.Fatal(err)
 		}

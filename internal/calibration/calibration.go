@@ -24,19 +24,33 @@
 // per allocation. A Grid calibrates a lattice of allocations and
 // interpolates between them — the paper's proposed remedy for the cost of
 // calibration experiments.
+//
+// Because real calibration measurements are noisy and occasionally fail,
+// the measurement path is fault-tolerant: every probe runs as a set of
+// trials aggregated by trimmed median, transient measurement errors are
+// retried with exponential backoff, least-squares fits whose residual
+// exceeds a threshold fall back to an outlier-rejecting IRLS fit, panics
+// in the measurement path are converted into per-point errors, and the
+// whole pipeline accepts a context.Context for cancellation and
+// deadlines. Faults are injected deterministically through
+// internal/faults (the DBVIRT_FAULTS environment variable, or
+// Config.Faults) so every recovery path is exercisable in tests and CI.
 package calibration
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dbvirt/internal/engine"
+	"dbvirt/internal/faults"
 	"dbvirt/internal/linalg"
 	"dbvirt/internal/obs"
 	"dbvirt/internal/optimizer"
@@ -48,12 +62,22 @@ import (
 // Always-on calibration metrics (see internal/obs). A "hit" is a cache
 // lookup answered from the per-allocation cache; a "join" piggybacks on a
 // measurement already in flight; together they are the dedup savings over
-// measures, which counts full probe suites actually run.
+// measures, which counts full probe suites actually run. The fault plane
+// counts injected faults, transient-retry attempts (with their backoff
+// latency), robust-fit fallbacks, and lattice points abandoned as bad.
 var (
 	mCalHit          = obs.Global.Counter("calibration.cache.hit")
 	mCalJoin         = obs.Global.Counter("calibration.cache.inflight_join")
 	mCalMeasure      = obs.Global.Counter("calibration.measure.count")
+	mCalRetry        = obs.Global.Counter("calibration.retry.count")
+	mCalFault        = obs.Global.Counter("calibration.fault.injected")
+	mCalPanic        = obs.Global.Counter("calibration.panic.recovered")
+	mCalRobustFit    = obs.Global.Counter("calibration.fit.robust")
+	mCalBadPoint     = obs.Global.Counter("calibration.grid.bad_points")
+	mCalCkptWrite    = obs.Global.Counter("calibration.checkpoint.writes")
+	mCalCkptResume   = obs.Global.Counter("calibration.checkpoint.resumed_points")
 	hMeasureSeconds  = obs.Global.Histogram("calibration.measure.seconds")
+	hRetryBackoff    = obs.Global.Histogram("calibration.retry.backoff_seconds")
 	gResidualCPU     = obs.Global.Gauge("calibration.residual.cpu")
 	gResidualSeqScan = obs.Global.Gauge("calibration.residual.seq")
 )
@@ -84,6 +108,24 @@ type Config struct {
 	// VM clocks never interleave and results are byte-identical to a
 	// serial run.
 	Parallelism int
+	// Faults injects deterministic measurement faults (see
+	// internal/faults). nil consults the DBVIRT_FAULTS environment
+	// variable; a process with neither runs fault-free.
+	Faults *faults.Injector
+	// Trials is the number of timed trials per probe, aggregated by
+	// trimmed median; 0 means 1 when fault-free and 5 under injection
+	// (the median then rejects injected noise and spikes).
+	Trials int
+	// MaxAttempts bounds the retries of one trial on transient
+	// measurement errors (default 4, i.e. up to 3 retries).
+	MaxAttempts int
+	// RetryBackoff is the initial backoff before a transient retry; it
+	// doubles per attempt (default 5ms). Tests may set it negative for no
+	// sleep.
+	RetryBackoff time.Duration
+	// RobustResidualThreshold is the relative fit residual above which a
+	// stage falls back to the outlier-rejecting IRLS fit (default 0.05).
+	RobustResidualThreshold float64
 	// Obs receives per-lattice-point trace spans and residual/debug
 	// events; nil disables both. Metrics (cache hits, measurement counts,
 	// fit residuals) always go to the process-global obs registry.
@@ -96,6 +138,44 @@ func (c Config) workers() int {
 		return c.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// trials resolves the per-probe trial count.
+func (c Config) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Faults.Enabled() {
+		return 5
+	}
+	return 1
+}
+
+// maxAttempts resolves the per-trial attempt bound.
+func (c Config) maxAttempts() int {
+	if c.MaxAttempts > 0 {
+		return c.MaxAttempts
+	}
+	return 4
+}
+
+// retryBackoff resolves the initial transient-retry backoff.
+func (c Config) retryBackoff() time.Duration {
+	if c.RetryBackoff != 0 {
+		if c.RetryBackoff < 0 {
+			return 0
+		}
+		return c.RetryBackoff
+	}
+	return 5 * time.Millisecond
+}
+
+// robustThreshold resolves the IRLS-fallback residual threshold.
+func (c Config) robustThreshold() float64 {
+	if c.RobustResidualThreshold > 0 {
+		return c.RobustResidualThreshold
+	}
+	return 0.05
 }
 
 // DefaultConfig calibrates the default machine.
@@ -118,6 +198,10 @@ func DefaultConfig() Config {
 // (singleflight) instead of repeating it.
 type Calibrator struct {
 	cfg Config
+	// envErr records a malformed DBVIRT_FAULTS spec; surfacing it from
+	// Calibrate (rather than panicking in New) keeps construction
+	// infallible while still failing misconfigured runs loudly.
+	envErr error
 
 	buildOnce      sync.Once
 	buildErr       error
@@ -129,6 +213,7 @@ type Calibrator struct {
 	randK          float64 // exact rows matched by the probe
 
 	measures atomic.Int64 // completed measure() runs, for tests/reporting
+	retries  atomic.Int64 // transient-fault retries, for tests/reporting
 
 	mu       sync.Mutex
 	cache    map[[3]int64]optimizer.Params
@@ -142,18 +227,32 @@ type calCall struct {
 	err  error
 }
 
-// New creates a calibrator for the given configuration.
+// New creates a calibrator for the given configuration. A nil cfg.Faults
+// is resolved from the DBVIRT_FAULTS environment variable.
 func New(cfg Config) *Calibrator {
-	return &Calibrator{
+	c := &Calibrator{
 		cfg:      cfg,
 		cache:    make(map[[3]int64]optimizer.Params),
 		inflight: make(map[[3]int64]*calCall),
 	}
+	if cfg.Faults == nil {
+		inj, err := faults.FromEnv()
+		if err != nil {
+			c.envErr = err
+		} else {
+			c.cfg.Faults = inj
+		}
+	}
+	return c
 }
 
 // Measurements returns how many full probe suites this calibrator has run
 // (cache hits and joined duplicate requests do not count).
 func (c *Calibrator) Measurements() int64 { return c.measures.Load() }
+
+// Retries returns how many transient-fault retries this calibrator has
+// performed across all measurements.
+func (c *Calibrator) Retries() int64 { return c.retries.Load() }
 
 // Config returns the calibrator's configuration.
 func (c *Calibrator) Config() Config { return c.cfg }
@@ -299,6 +398,103 @@ func timeQuery(s *engine.Session, query string) (float64, error) {
 	return s.VM.ElapsedSince(start), nil
 }
 
+// sleepCtx sleeps for d or until the context is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// probeKey names one probe measurement stably for the fault injector:
+// stage, query, and allocation — never scheduling artifacts, so injected
+// faults are identical across worker counts and resumed runs.
+func probeKey(stage, query string, shares vm.Shares) string {
+	return fmt.Sprintf("%s|%s|cpu=%.6f,mem=%.6f,io=%.6f", stage, query, shares.CPU, shares.Memory, shares.IO)
+}
+
+// runTrial executes one timed trial, consulting the fault injector and
+// retrying transient failures with exponential backoff. It returns the
+// (possibly noise-scaled) elapsed seconds and the number of attempts.
+func (c *Calibrator) runTrial(ctx context.Context, key string, run func() (float64, error)) (float64, int, error) {
+	backoff := c.cfg.retryBackoff()
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, attempt, err
+		}
+		out := c.cfg.Faults.Measurement(key, attempt)
+		if out.Panic {
+			panic(fmt.Sprintf("calibration: injected panic (key %q, attempt %d)", key, attempt))
+		}
+		if out.Err != nil {
+			mCalFault.Inc()
+			if out.Transient && attempt+1 < c.cfg.maxAttempts() {
+				mCalRetry.Inc()
+				c.retries.Add(1)
+				hRetryBackoff.Observe(backoff.Seconds())
+				c.cfg.Obs.Debug("calibration transient fault, retrying",
+					"key", key, "attempt", attempt, "backoff", backoff.String())
+				if err := sleepCtx(ctx, backoff); err != nil {
+					return 0, attempt + 1, err
+				}
+				backoff *= 2
+				continue
+			}
+			return 0, attempt + 1, fmt.Errorf("calibration: measurement %q failed after %d attempts: %w", key, attempt+1, out.Err)
+		}
+		el, err := run()
+		if err != nil {
+			// Engine-level failures are bugs in the probe suite, not
+			// transient measurement noise; they are never retried.
+			return 0, attempt + 1, err
+		}
+		return el * out.Scale, attempt + 1, nil
+	}
+}
+
+// measureProbe runs the configured number of trials of one probe and
+// aggregates them by trimmed median. run must produce a fresh, equivalent
+// measurement each call (warm probes rerun on the warmed session; cold
+// probes build a fresh session per trial). attempts accumulates the total
+// trial attempts into the caller's per-point counter.
+func (c *Calibrator) measureProbe(ctx context.Context, keyBase string, attempts *int, run func() (float64, error)) (float64, error) {
+	k := c.cfg.trials()
+	vals := make([]float64, 0, k)
+	for t := 0; t < k; t++ {
+		v, a, err := c.runTrial(ctx, fmt.Sprintf("%s|trial=%d", keyBase, t), run)
+		*attempts += a
+		if err != nil {
+			return 0, err
+		}
+		vals = append(vals, v)
+	}
+	return trimmedMedian(vals), nil
+}
+
+// trimmedMedian aggregates trial measurements: with five or more trials
+// the extremes are dropped first (rejecting latency spikes outright), and
+// the median of what remains is returned. One trial returns itself, so
+// the fault-free single-trial path is bit-identical to a direct
+// measurement.
+func trimmedMedian(v []float64) float64 {
+	sort.Float64s(v)
+	if len(v) >= 5 {
+		v = v[1 : len(v)-1]
+	}
+	n := len(v)
+	if n%2 == 1 {
+		return v[n/2]
+	}
+	return 0.5 * (v[n/2-1] + v[n/2])
+}
+
 // requirePlanNode verifies the session would execute the probe with the
 // expected access method; a degenerate probe plan would invalidate the
 // linear model behind the calibration equations.
@@ -320,10 +516,19 @@ func cacheKey(shares vm.Shares) [3]int64 {
 
 // Calibrate measures and returns the optimizer parameters P for the given
 // resource allocation R. Results are cached per allocation; concurrent
-// calls for the same allocation share one measurement.
-func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
+// calls for the same allocation share one measurement. The context
+// cancels a measurement between probes (and during retry backoff); a
+// joiner whose context is cancelled stops waiting without disturbing the
+// in-flight measurement it joined.
+func (c *Calibrator) Calibrate(ctx context.Context, shares vm.Shares) (optimizer.Params, error) {
+	if c.envErr != nil {
+		return optimizer.Params{}, c.envErr
+	}
 	if !shares.Valid() {
 		return optimizer.Params{}, fmt.Errorf("calibration: invalid shares %v", shares)
+	}
+	if err := ctx.Err(); err != nil {
+		return optimizer.Params{}, err
 	}
 	key := cacheKey(shares)
 	c.mu.Lock()
@@ -335,8 +540,12 @@ func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 	if call, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
 		mCalJoin.Inc()
-		<-call.done
-		return call.p, call.err
+		select {
+		case <-call.done:
+			return call.p, call.err
+		case <-ctx.Done():
+			return optimizer.Params{}, ctx.Err()
+		}
 	}
 	call := &calCall{done: make(chan struct{})}
 	c.inflight[key] = call
@@ -348,7 +557,7 @@ func (c *Calibrator) Calibrate(shares vm.Shares) (optimizer.Params, error) {
 	sp.SetArg("io", shares.IO)
 	start := time.Now()
 	if call.err = c.buildDB(); call.err == nil {
-		call.p, call.err = c.measure(shares, sp)
+		call.p, call.err = c.measureSafe(ctx, shares, sp)
 	}
 	if call.err == nil {
 		mCalMeasure.Inc()
@@ -375,9 +584,58 @@ func (c *Calibrator) prime(shares vm.Shares, p optimizer.Params) {
 	c.mu.Unlock()
 }
 
+// measureSafe runs measure under recover(), converting a panic in the
+// measurement path into a per-point error instead of process death.
+func (c *Calibrator) measureSafe(ctx context.Context, shares vm.Shares, sp *obs.Span) (p optimizer.Params, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			mCalPanic.Inc()
+			c.cfg.Obs.Error("calibration measurement panicked",
+				"cpu", shares.CPU, "mem", shares.Memory, "io", shares.IO, "panic", fmt.Sprint(r))
+			p = optimizer.Params{}
+			err = fmt.Errorf("calibration: measurement at %v panicked: %v", shares, r)
+		}
+	}()
+	return c.measure(ctx, shares, sp)
+}
+
+// fitStage solves one calibration stage's least-squares system. When the
+// relative residual exceeds the robust threshold — the signature of a
+// corrupted measurement surviving the trimmed median — it falls back to
+// the outlier-rejecting IRLS fit. Singular systems are wrapped with the
+// stage, the allocation being calibrated, and the conditioning of the
+// normal equations, so the failing fit is identifiable from the error
+// alone.
+func (c *Calibrator) fitStage(stage string, rows [][]float64, rhs []float64, shares vm.Shares) ([]float64, float64, error) {
+	a := linalg.FromRows(rows)
+	sol, err := linalg.LeastSquares(a, rhs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("calibration: %s stage fit at shares %v (%s): %w",
+			stage, shares, linalg.DescribeSystem(a), err)
+	}
+	res := relResidual(rows, sol, rhs)
+	if res > c.cfg.robustThreshold() {
+		rob, rerr := linalg.RobustLeastSquares(a, rhs, 0)
+		if rerr == nil {
+			mCalRobustFit.Inc()
+			robRes := relResidual(rows, rob, rhs)
+			c.cfg.Obs.Warn("calibration fit residual above threshold; using robust IRLS fit",
+				"stage", stage, "cpu", shares.CPU, "mem", shares.Memory, "io", shares.IO,
+				"residual", res, "robust_residual", robRes)
+			return rob, robRes, nil
+		}
+	}
+	return sol, res, nil
+}
+
 // measure runs the full probe suite at one allocation. sp is the
-// enclosing per-point trace span (nil-safe); each stage gets a child.
-func (c *Calibrator) measure(shares vm.Shares, sp *obs.Span) (optimizer.Params, error) {
+// enclosing per-point trace span (nil-safe); each stage gets a child and
+// the point span is annotated with the total trial attempts (retries
+// included).
+func (c *Calibrator) measure(ctx context.Context, shares vm.Shares, sp *obs.Span) (optimizer.Params, error) {
+	attempts := 0
+	defer func() { sp.SetArg("attempts", attempts) }()
+
 	// --- Stage A: warm CPU probes on the narrow table ---
 	spA := sp.Child("calibrate.stage_a.cpu")
 	warm, err := c.newMeasureSession(shares)
@@ -402,26 +660,28 @@ func (c *Calibrator) measure(shares vm.Shares, sp *obs.Span) (optimizer.Params, 
 	var rows [][]float64
 	var rhs []float64
 	for _, pr := range cpuProbes {
-		// First run warms the cache; the second is the measurement.
+		// First run warms the cache; the trials measure the steady state.
 		if _, err := timeQuery(warm, pr.query); err != nil {
 			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pr.query, err)
 		}
-		el, err := timeQuery(warm, pr.query)
+		pq := pr.query
+		el, err := c.measureProbe(ctx, probeKey("stage_a", pq, shares), &attempts, func() (float64, error) {
+			return timeQuery(warm, pq)
+		})
 		if err != nil {
-			return optimizer.Params{}, err
+			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pq, err)
 		}
 		rows = append(rows, pr.coef)
 		rhs = append(rhs, el)
 	}
-	cpuSol, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	cpuSol, resA, err := c.fitStage("cpu", rows, rhs, shares)
 	if err != nil {
-		return optimizer.Params{}, fmt.Errorf("calibration: CPU stage: %w", err)
+		return optimizer.Params{}, err
 	}
 	tTup, tOp, tIdxTup := cpuSol[0], cpuSol[1], cpuSol[2]
 	if tTup <= 0 || tOp <= 0 || tIdxTup <= 0 {
-		return optimizer.Params{}, fmt.Errorf("calibration: non-positive CPU parameters %v", cpuSol)
+		return optimizer.Params{}, fmt.Errorf("calibration: CPU stage at shares %v: non-positive CPU parameters %v", shares, cpuSol)
 	}
-	resA := relResidual(rows, cpuSol, rhs)
 	gResidualCPU.Set(resA)
 	spA.SetArg("residual", resA)
 	spA.End()
@@ -446,32 +706,38 @@ func (c *Calibrator) measure(shares vm.Shares, sp *obs.Span) (optimizer.Params, 
 	rows = rows[:0]
 	rhs = rhs[:0]
 	for _, pr := range bigProbes {
-		cold, err := c.newMeasureSession(shares)
+		planCheck, err := c.newMeasureSession(shares)
 		if err != nil {
 			return optimizer.Params{}, err
 		}
-		if err := requirePlanNode(cold, pr.query, "SeqScan"); err != nil {
+		if err := requirePlanNode(planCheck, pr.query, "SeqScan"); err != nil {
 			return optimizer.Params{}, err
 		}
-		el, err := timeQuery(cold, pr.query)
+		pq := pr.query
+		el, err := c.measureProbe(ctx, probeKey("stage_b", pq, shares), &attempts, func() (float64, error) {
+			cold, err := c.newMeasureSession(shares)
+			if err != nil {
+				return 0, err
+			}
+			return timeQuery(cold, pq)
+		})
 		if err != nil {
-			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pr.query, err)
+			return optimizer.Params{}, fmt.Errorf("calibration: probe %q: %w", pq, err)
 		}
 		rows = append(rows, []float64{S, pr.cpu})
 		rhs = append(rhs, el)
 	}
-	seqSol, err := linalg.LeastSquares(linalg.FromRows(rows), rhs)
+	seqSol, resB, err := c.fitStage("seq", rows, rhs, shares)
 	if err != nil {
-		return optimizer.Params{}, fmt.Errorf("calibration: seq stage: %w", err)
+		return optimizer.Params{}, err
 	}
 	tSeq, gamma := seqSol[0], seqSol[1]
 	if tSeq <= 0 {
-		return optimizer.Params{}, fmt.Errorf("calibration: non-positive tSeq %g", tSeq)
+		return optimizer.Params{}, fmt.Errorf("calibration: seq stage at shares %v: non-positive tSeq %g", shares, tSeq)
 	}
 	if gamma < 0 {
 		gamma = 0
 	}
-	resB := relResidual(rows, seqSol, rhs)
 	gResidualSeqScan.Set(resB)
 	spB.SetArg("residual", resB)
 	spB.End()
@@ -481,15 +747,21 @@ func (c *Calibrator) measure(shares vm.Shares, sp *obs.Span) (optimizer.Params, 
 
 	// --- Stage C: cold random index probe ---
 	spC := sp.Child("calibrate.stage_c.rand")
-	cold, err := c.newMeasureSession(shares)
+	planCheck, err := c.newMeasureSession(shares)
 	if err != nil {
 		return optimizer.Params{}, err
 	}
 	probe := fmt.Sprintf("SELECT count(*) FROM cal_big WHERE r BETWEEN %d AND %d", c.randLo, c.randHi)
-	if err := requirePlanNode(cold, probe, "IndexScan"); err != nil {
+	if err := requirePlanNode(planCheck, probe, "IndexScan"); err != nil {
 		return optimizer.Params{}, err
 	}
-	el, err := timeQuery(cold, probe)
+	el, err := c.measureProbe(ctx, probeKey("stage_c", probe, shares), &attempts, func() (float64, error) {
+		cold, err := c.newMeasureSession(shares)
+		if err != nil {
+			return 0, err
+		}
+		return timeQuery(cold, probe)
+	})
 	if err != nil {
 		return optimizer.Params{}, fmt.Errorf("calibration: random probe: %w", err)
 	}

@@ -2,6 +2,7 @@ package calibration
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -24,7 +25,7 @@ func half() vm.Shares { return vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.5} }
 
 func TestCalibrateProducesSaneParams(t *testing.T) {
 	c := New(testConfig())
-	p, err := c.Calibrate(half())
+	p, err := c.Calibrate(context.Background(), half())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestCalibrationRecoversEngineConstants(t *testing.T) {
 	cfg.Machine.SchedOverhead = 0
 	cfg.Machine.HypervisorIOOps = 0
 	c := New(cfg)
-	p, err := c.Calibrate(vm.Shares{CPU: 1, Memory: 1, IO: 1})
+	p, err := c.Calibrate(context.Background(), vm.Shares{CPU: 1, Memory: 1, IO: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestCalibrationRecoversEngineConstants(t *testing.T) {
 func TestCPUTupleCostRisesAsCPUShareFalls(t *testing.T) {
 	// The paper's Figure 3: cpu_tuple_cost is sensitive to the CPU share.
 	c := New(testConfig())
-	p25, err := c.Calibrate(vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
+	p25, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	p75, err := c.Calibrate(vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
+	p75, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,11 +104,11 @@ func TestCPUTupleCostRisesAsCPUShareFalls(t *testing.T) {
 
 func TestTimePerSeqPageScalesWithIOShare(t *testing.T) {
 	c := New(testConfig())
-	pLow, err := c.Calibrate(vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.25})
+	pLow, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.25})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pHigh, err := c.Calibrate(vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.75})
+	pHigh, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestTimePerSeqPageScalesWithIOShare(t *testing.T) {
 
 func TestCalibrateCaches(t *testing.T) {
 	c := New(testConfig())
-	p1, err := c.Calibrate(half())
+	p1, err := c.Calibrate(context.Background(), half())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := c.Calibrate(half())
+	p2, err := c.Calibrate(context.Background(), half())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,18 +135,18 @@ func TestCalibrateCaches(t *testing.T) {
 
 func TestCalibrateRejectsInvalidShares(t *testing.T) {
 	c := New(testConfig())
-	if _, err := c.Calibrate(vm.Shares{CPU: 0, Memory: 0.5, IO: 0.5}); err == nil {
+	if _, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0, Memory: 0.5, IO: 0.5}); err == nil {
 		t.Error("invalid shares should fail")
 	}
 }
 
 func TestEffectiveCacheTracksMemoryShare(t *testing.T) {
 	c := New(testConfig())
-	pSmall, err := c.Calibrate(vm.Shares{CPU: 0.5, Memory: 0.25, IO: 0.5})
+	pSmall, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.5, Memory: 0.25, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pBig, err := c.Calibrate(vm.Shares{CPU: 0.5, Memory: 0.75, IO: 0.5})
+	pBig, err := c.Calibrate(context.Background(), vm.Shares{CPU: 0.5, Memory: 0.75, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestEffectiveCacheTracksMemoryShare(t *testing.T) {
 func TestGridCalibrationAndLookup(t *testing.T) {
 	c := New(testConfig())
 	axis := []float64{0.25, 0.75}
-	g, err := c.CalibrateGrid(axis, []float64{0.5}, []float64{0.5})
+	g, err := c.CalibrateGrid(context.Background(), axis, []float64{0.5}, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestGridCalibrationAndLookup(t *testing.T) {
 
 func TestGridInterpolation(t *testing.T) {
 	c := New(testConfig())
-	g, err := c.CalibrateGrid([]float64{0.25, 0.75}, []float64{0.5}, []float64{0.5})
+	g, err := c.CalibrateGrid(context.Background(), []float64{0.25, 0.75}, []float64{0.5}, []float64{0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,10 +205,10 @@ func TestGridInterpolation(t *testing.T) {
 
 func TestGridValidation(t *testing.T) {
 	c := New(testConfig())
-	if _, err := c.CalibrateGrid(nil, []float64{0.5}, []float64{0.5}); err == nil {
+	if _, err := c.CalibrateGrid(context.Background(), nil, []float64{0.5}, []float64{0.5}); err == nil {
 		t.Error("empty axis should fail")
 	}
-	if _, err := c.CalibrateGrid([]float64{0.75, 0.25}, []float64{0.5}, []float64{0.5}); err == nil {
+	if _, err := c.CalibrateGrid(context.Background(), []float64{0.75, 0.25}, []float64{0.5}, []float64{0.5}); err == nil {
 		t.Error("unsorted axis should fail")
 	}
 }
@@ -222,12 +223,12 @@ func TestFinerGridReducesInterpolationError(t *testing.T) {
 	// and model accuracy; the ablation bench quantifies it.)
 	c := New(testConfig())
 	target := vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.5}
-	direct, err := c.Calibrate(target)
+	direct, err := c.Calibrate(context.Background(), target)
 	if err != nil {
 		t.Fatal(err)
 	}
 	relErr := func(axis []float64) float64 {
-		g, err := c.CalibrateGrid(axis, []float64{0.5}, []float64{0.5})
+		g, err := c.CalibrateGrid(context.Background(), axis, []float64{0.5}, []float64{0.5})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -246,7 +247,7 @@ func TestFinerGridReducesInterpolationError(t *testing.T) {
 
 func TestGridSaveLoadRoundTrip(t *testing.T) {
 	c := New(testConfig())
-	g, err := c.CalibrateGrid([]float64{0.25, 0.75}, []float64{0.5}, []float64{0.25, 0.75})
+	g, err := c.CalibrateGrid(context.Background(), []float64{0.25, 0.75}, []float64{0.5}, []float64{0.25, 0.75})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,164 @@
+package calibration
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+
+	"dbvirt/internal/optimizer"
+)
+
+// Grid calibration is the longest-running operation in the system — the
+// paper's §7 remedy for calibration cost is precisely to amortize one
+// expensive lattice sweep across every later tuning problem — so a crash
+// or cancellation near the end must not forfeit the finished points. A
+// checkpoint is a versioned JSON snapshot of the completed lattice points
+// plus a checksum (detecting torn or hand-edited files) and a config
+// signature (detecting resumption under a different machine, engine,
+// fault, or axis configuration, any of which would change the measured
+// values). Files are written to a temp path and renamed into place, so a
+// reader never observes a partial write. Because measurements — even
+// fault-injected ones — are deterministic functions of the calibration
+// config, a resumed run reproduces bit-for-bit the grid an uninterrupted
+// run would have produced.
+
+// checkpointVersion is bumped whenever the on-disk format changes.
+const checkpointVersion = 1
+
+type checkpointJSON struct {
+	Version   int               `json:"version"`
+	Checksum  string            `json:"checksum"`
+	ConfigSig string            `json:"config_sig"`
+	CPUs      []float64         `json:"cpus"`
+	Mems      []float64         `json:"mems"`
+	IOs       []float64         `json:"ios"`
+	Points    []checkpointPoint `json:"points"`
+}
+
+// checkpointPoint stores one completed lattice point by dense index (see
+// Grid.index). Go marshals float64 with the shortest representation that
+// round-trips, so restored parameters are bit-identical to measured ones.
+type checkpointPoint struct {
+	Idx    int              `json:"idx"`
+	Params optimizer.Params `json:"params"`
+}
+
+// signature fingerprints everything that determines measured parameter
+// values: the machine and engine models, table sizes, seeds, the fault
+// configuration (injected faults perturb measurements deterministically),
+// the trial count, and the lattice axes. Two runs with equal signatures
+// measure identical grids, which is what makes resuming sound.
+func (c Config) signature(cpus, mems, ios []float64) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "machine=%+v|engine=%+v|narrow=%d|big=%d|rand=%d|seed=%d|faults=%s|trials=%d|cpus=%v|mems=%v|ios=%v",
+		c.Machine, c.Engine, c.NarrowRows, c.BigRows, c.RandProbeRows, c.Seed,
+		c.Faults.Config().String(), c.trials(), cpus, mems, ios)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// checksum hashes the checkpoint's canonical JSON form with the Checksum
+// field cleared.
+func (ck checkpointJSON) checksum() (string, error) {
+	ck.Checksum = ""
+	b, err := json.Marshal(ck)
+	if err != nil {
+		return "", err
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// writeCheckpoint atomically persists the completed lattice points.
+func writeCheckpoint(path, sig string, g *Grid, completed []bool) error {
+	ck := checkpointJSON{
+		Version:   checkpointVersion,
+		ConfigSig: sig,
+		CPUs:      g.cpus,
+		Mems:      g.mems,
+		IOs:       g.ios,
+	}
+	for idx, done := range completed { // index order: deterministic output
+		if done {
+			ck.Points = append(ck.Points, checkpointPoint{Idx: idx, Params: g.points[idx]})
+		}
+	}
+	sum, err := ck.checksum()
+	if err != nil {
+		return err
+	}
+	ck.Checksum = sum
+	b, err := json.MarshalIndent(ck, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint restores completed points from path into g, marking them
+// in completed, and returns how many points were restored. A missing file
+// is not an error (the run simply starts fresh); a corrupt, incompatible,
+// or differently-configured checkpoint is.
+func loadCheckpoint(path, sig string, g *Grid, completed []bool) (int, error) {
+	b, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var ck checkpointJSON
+	if err := json.Unmarshal(b, &ck); err != nil {
+		return 0, fmt.Errorf("decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return 0, fmt.Errorf("checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	want, err := ck.checksum()
+	if err != nil {
+		return 0, err
+	}
+	if ck.Checksum != want {
+		return 0, fmt.Errorf("checkpoint checksum mismatch (file corrupt or edited): have %s, want %s", ck.Checksum, want)
+	}
+	if ck.ConfigSig != sig {
+		return 0, fmt.Errorf("checkpoint was taken under a different calibration config or axes (signature %s, this run %s)", ck.ConfigSig, sig)
+	}
+	if !equalAxis(ck.CPUs, g.cpus) || !equalAxis(ck.Mems, g.mems) || !equalAxis(ck.IOs, g.ios) {
+		return 0, fmt.Errorf("checkpoint axes do not match this run")
+	}
+	count := 0
+	for _, pt := range ck.Points {
+		if pt.Idx < 0 || pt.Idx >= len(g.points) {
+			return 0, fmt.Errorf("checkpoint point index %d out of range", pt.Idx)
+		}
+		p := pt.Params
+		if err := p.Validate(); err != nil {
+			return 0, fmt.Errorf("checkpoint point %d: %w", pt.Idx, err)
+		}
+		if !completed[pt.Idx] {
+			completed[pt.Idx] = true
+			count++
+		}
+		g.points[pt.Idx] = p
+	}
+	return count, nil
+}
+
+func equalAxis(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,11 +1,13 @@
 package calibration
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"dbvirt/internal/obs"
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/vm"
 )
@@ -28,6 +30,14 @@ func (g *Grid) index(ic, im, ii int) int {
 	return (ic*len(g.mems)+im)*len(g.ios) + ii
 }
 
+// coords is the inverse of index.
+func (g *Grid) coords(idx int) (ic, im, ii int) {
+	ii = idx % len(g.ios)
+	im = (idx / len(g.ios)) % len(g.mems)
+	ic = idx / (len(g.ios) * len(g.mems))
+	return
+}
+
 // newGrid allocates an empty grid over copies of the given axes.
 func newGrid(cpus, mems, ios []float64) *Grid {
 	g := &Grid{
@@ -44,8 +54,51 @@ func (g *Grid) latticeShares(ic, im, ii int) vm.Shares {
 	return vm.Shares{CPU: g.cpus[ic], Memory: g.mems[im], IO: g.ios[ii]}
 }
 
+// GridOptions controls fault tolerance and persistence of a grid
+// calibration run; the zero value matches plain CalibrateGrid.
+type GridOptions struct {
+	// CheckpointPath, when non-empty, persists completed lattice points to
+	// a versioned, checksummed JSON file (written atomically via rename)
+	// as the calibration progresses, so a crashed or cancelled run can be
+	// resumed without repeating finished measurements.
+	CheckpointPath string
+	// Resume loads CheckpointPath (if it exists) before measuring and
+	// skips every lattice point it restores. The checkpoint must match
+	// this run's axes and calibration config, or resumption fails rather
+	// than silently mixing incompatible measurements.
+	Resume bool
+	// CheckpointEvery writes the checkpoint after every n completed
+	// points; 0 means after every point.
+	CheckpointEvery int
+	// MaxBadPointFrac is the largest fraction of lattice points allowed to
+	// fail measurement before the whole grid run is abandoned; failed
+	// points under the limit are filled from their neighbors. 0 means 0.5.
+	MaxBadPointFrac float64
+}
+
+func (o GridOptions) every() int {
+	if o.CheckpointEvery <= 0 {
+		return 1
+	}
+	return o.CheckpointEvery
+}
+
+func (o GridOptions) maxBadFrac() float64 {
+	if o.MaxBadPointFrac <= 0 {
+		return 0.5
+	}
+	return o.MaxBadPointFrac
+}
+
 // CalibrateGrid measures every lattice point (the cross product of the
-// three axes) and returns the grid. Axis values must be valid shares.
+// three axes) and returns the grid. Axis values must be valid shares. It
+// is CalibrateGridOpts with default options (no checkpointing).
+func (c *Calibrator) CalibrateGrid(ctx context.Context, cpus, mems, ios []float64) (*Grid, error) {
+	return c.CalibrateGridOpts(ctx, cpus, mems, ios, GridOptions{})
+}
+
+// CalibrateGridOpts measures every lattice point, with checkpoint/resume
+// and bad-point recovery per opts.
 //
 // Lattice points are distributed over a bounded worker pool sized by
 // Config.Parallelism. Every worker owns a private Calibrator — its own
@@ -56,7 +109,20 @@ func (g *Grid) latticeShares(ic, im, ii int) vm.Shares {
 // serial run would, and workers write into pre-indexed lattice slots, so
 // the resulting grid is byte-identical regardless of scheduling. All
 // measured points are also handed back to this calibrator's cache.
-func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
+//
+// Failure handling distinguishes two classes. A fatal error — the context
+// being cancelled, or a worker failing to build its calibration database —
+// cancels all workers promptly (dispatch stops and in-flight measurements
+// abort at the next probe boundary) and fails the run. A per-point
+// measurement error is degradable: the point is marked bad, the run
+// continues, and bad points are afterwards filled with the average of
+// their good lattice neighbors — unless more than opts.MaxBadPointFrac of
+// the lattice failed, which fails the run with the first bad point's
+// error.
+func (c *Calibrator) CalibrateGridOpts(ctx context.Context, cpus, mems, ios []float64, opts GridOptions) (*Grid, error) {
+	if c.envErr != nil {
+		return nil, c.envErr
+	}
 	for _, axis := range [][]float64{cpus, mems, ios} {
 		if len(axis) == 0 {
 			return nil, fmt.Errorf("calibration: empty grid axis")
@@ -67,6 +133,21 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 	}
 	g := newGrid(cpus, mems, ios)
 	n := len(g.points)
+	completed := make([]bool, n)
+	sig := c.cfg.signature(g.cpus, g.mems, g.ios)
+	resumed := 0
+	if opts.Resume && opts.CheckpointPath != "" {
+		var err error
+		resumed, err = loadCheckpoint(opts.CheckpointPath, sig, g, completed)
+		if err != nil {
+			return nil, fmt.Errorf("calibration: resuming from %s: %w", opts.CheckpointPath, err)
+		}
+		if resumed > 0 {
+			mCalCkptResume.Add(int64(resumed))
+			c.cfg.Obs.Info("grid calibration resumed",
+				"checkpoint", opts.CheckpointPath, "restored_points", resumed, "total_points", n)
+		}
+	}
 	workers := c.cfg.workers()
 	if workers > n {
 		workers = n
@@ -74,6 +155,7 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 	sp := c.cfg.Obs.Span("calibrate.grid")
 	sp.SetArg("points", n)
 	sp.SetArg("workers", workers)
+	sp.SetArg("resumed", resumed)
 	defer sp.End()
 
 	// Per-worker calibrators: worker 0 reuses this calibrator (and its
@@ -88,25 +170,79 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 		}
 	}
 
+	// Fatal errors (context cancellation, database build failures) cancel
+	// the derived context so every worker stops dispatching immediately
+	// and in-flight measurements abort at their next probe boundary.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var fatalMu sync.Mutex
+	var fatal error
+	setFatal := func(err error) {
+		fatalMu.Lock()
+		if fatal == nil {
+			fatal = err
+		}
+		fatalMu.Unlock()
+		cancel()
+	}
+
+	// ckptMu orders completed[] updates and checkpoint writes; holding it
+	// while writing also publishes the g.points entries the written file
+	// references.
+	var ckptMu sync.Mutex
+	pending := 0
+
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	var next atomic.Int64
 	work := func(w int) {
 		cal := cals[w]
+		if err := cal.buildDB(); err != nil {
+			setFatal(fmt.Errorf("calibration: building calibration database: %w", err))
+			return
+		}
 		for {
+			if ctx.Err() != nil {
+				return
+			}
 			idx := int(next.Add(1)) - 1
 			if idx >= n {
 				return
 			}
-			ii := idx % len(g.ios)
-			im := (idx / len(g.ios)) % len(g.mems)
-			ic := idx / (len(g.ios) * len(g.mems))
-			p, err := cal.Calibrate(g.latticeShares(ic, im, ii))
+			if completed[idx] { // restored from a checkpoint
+				continue
+			}
+			ic, im, ii := g.coords(idx)
+			sh := g.latticeShares(ic, im, ii)
+			p, err := cal.Calibrate(ctx, sh)
 			if err != nil {
+				if ctx.Err() != nil {
+					return
+				}
+				// Degradable: mark the lattice point bad and move on; it is
+				// filled from its neighbors after the sweep.
 				errs[idx] = err
+				mCalBadPoint.Inc()
+				c.cfg.Obs.Warn("grid point measurement failed",
+					"cpu", sh.CPU, "mem", sh.Memory, "io", sh.IO, "err", err.Error())
 				continue
 			}
 			g.points[idx] = p
+			ckptMu.Lock()
+			completed[idx] = true
+			if opts.CheckpointPath != "" {
+				pending++
+				if pending >= opts.every() {
+					if werr := writeCheckpoint(opts.CheckpointPath, sig, g, completed); werr != nil {
+						c.cfg.Obs.Warn("checkpoint write failed",
+							"path", opts.CheckpointPath, "err", werr.Error())
+					} else {
+						mCalCkptWrite.Inc()
+					}
+					pending = 0
+				}
+			}
+			ckptMu.Unlock()
 		}
 	}
 	if workers <= 1 {
@@ -122,13 +258,40 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 		wg.Wait()
 	}
 
-	for idx, err := range errs { // first failing lattice point, in order
-		if err != nil {
-			ii := idx % len(g.ios)
-			im := (idx / len(g.ios)) % len(g.mems)
-			ic := idx / (len(g.ios) * len(g.mems))
+	if fatal != nil {
+		return nil, fatal
+	}
+	if err := ctx.Err(); err != nil {
+		// The derived context is only ever cancelled by setFatal (handled
+		// above) or by the caller's context.
+		return nil, err
+	}
+
+	var bad []int
+	for idx := range errs {
+		if errs[idx] != nil {
+			bad = append(bad, idx)
+		}
+	}
+	if len(bad) > 0 {
+		// A fill needs at least one good point; an entirely-bad lattice is
+		// unfixable no matter what fraction the caller tolerates.
+		frac := float64(len(bad)) / float64(n)
+		if len(bad) == n || frac > opts.maxBadFrac() {
+			ic, im, ii := g.coords(bad[0])
 			sh := g.latticeShares(ic, im, ii)
-			return nil, fmt.Errorf("calibration: grid point (%g,%g,%g): %w", sh.CPU, sh.Memory, sh.IO, err)
+			return nil, fmt.Errorf("calibration: %d of %d grid points failed (above the %.0f%% limit); first failure at (%g,%g,%g): %w",
+				len(bad), n, opts.maxBadFrac()*100, sh.CPU, sh.Memory, sh.IO, errs[bad[0]])
+		}
+		g.fillBadPoints(bad, errs, c.cfg.Obs)
+	}
+
+	// Flush a final checkpoint so the file reflects every completed point.
+	if opts.CheckpointPath != "" && pending > 0 {
+		if werr := writeCheckpoint(opts.CheckpointPath, sig, g, completed); werr != nil {
+			c.cfg.Obs.Warn("checkpoint write failed", "path", opts.CheckpointPath, "err", werr.Error())
+		} else {
+			mCalCkptWrite.Inc()
 		}
 	}
 
@@ -142,8 +305,78 @@ func (c *Calibrator) CalibrateGrid(cpus, mems, ios []float64) (*Grid, error) {
 		}
 	}
 	c.cfg.Obs.Info("grid calibrated", "points", n, "workers", workers,
-		"cpu_axis", len(g.cpus), "mem_axis", len(g.mems), "io_axis", len(g.ios))
+		"cpu_axis", len(g.cpus), "mem_axis", len(g.mems), "io_axis", len(g.ios),
+		"resumed", resumed, "bad_points", len(bad))
 	return g, nil
+}
+
+// fillBadPoints replaces lattice points whose measurement failed with the
+// component-wise average of their good orthogonal neighbors, falling back
+// to the nearest good point by lattice Manhattan distance (smallest index
+// wins ties). Fills always read the original good mask — never other
+// fills — so the result is independent of fill order.
+func (g *Grid) fillBadPoints(bad []int, errs []error, tel *obs.Telemetry) {
+	nc, nm, ni := len(g.cpus), len(g.mems), len(g.ios)
+	good := func(idx int) bool { return errs[idx] == nil }
+	for _, idx := range bad {
+		ic, im, ii := g.coords(idx)
+		var neigh []optimizer.Params
+		for _, d := range [][3]int{{-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}, {0, 0, -1}, {0, 0, 1}} {
+			jc, jm, ji := ic+d[0], im+d[1], ii+d[2]
+			if jc < 0 || jc >= nc || jm < 0 || jm >= nm || ji < 0 || ji >= ni {
+				continue
+			}
+			if j := g.index(jc, jm, ji); good(j) {
+				neigh = append(neigh, g.points[j])
+			}
+		}
+		if len(neigh) == 0 {
+			best, bestD := -1, int(^uint(0)>>1)
+			for j := range g.points {
+				if !good(j) {
+					continue
+				}
+				jc, jm, ji := g.coords(j)
+				d := absInt(jc-ic) + absInt(jm-im) + absInt(ji-ii)
+				if d < bestD {
+					best, bestD = j, d
+				}
+			}
+			neigh = append(neigh, g.points[best])
+		}
+		g.points[idx] = avgParams(neigh)
+		sh := g.latticeShares(ic, im, ii)
+		tel.Warn("grid point filled from neighbors",
+			"cpu", sh.CPU, "mem", sh.Memory, "io", sh.IO, "neighbors", len(neigh))
+	}
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// avgParams is the component-wise mean of a set of parameter vectors.
+func avgParams(ps []optimizer.Params) optimizer.Params {
+	inv := 1 / float64(len(ps))
+	var out optimizer.Params
+	var cache, workMem float64
+	for _, p := range ps {
+		out.SeqPageCost += p.SeqPageCost * inv
+		out.RandomPageCost += p.RandomPageCost * inv
+		out.CPUTupleCost += p.CPUTupleCost * inv
+		out.CPUIndexTupleCost += p.CPUIndexTupleCost * inv
+		out.CPUOperatorCost += p.CPUOperatorCost * inv
+		cache += float64(p.EffectiveCacheSizePages) * inv
+		workMem += float64(p.WorkMemBytes) * inv
+		out.TimePerSeqPage += p.TimePerSeqPage * inv
+		out.Overlap += p.Overlap * inv
+	}
+	out.EffectiveCacheSizePages = int64(cache + 0.5)
+	out.WorkMemBytes = int64(workMem + 0.5)
+	return out
 }
 
 // Lookup returns the parameters at an exact lattice point.
@@ -224,5 +457,6 @@ func lerpParams(a, b optimizer.Params, f float64) optimizer.Params {
 		EffectiveCacheSizePages: int64(l(float64(a.EffectiveCacheSizePages), float64(b.EffectiveCacheSizePages)) + 0.5),
 		WorkMemBytes:            int64(l(float64(a.WorkMemBytes), float64(b.WorkMemBytes)) + 0.5),
 		TimePerSeqPage:          l(a.TimePerSeqPage, b.TimePerSeqPage),
+		Overlap:                 l(a.Overlap, b.Overlap),
 	}
 }

@@ -1,6 +1,7 @@
 package calibration
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestCalibrateConcurrentSingleflight(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := 0; i < 4; i++ {
-				p, err := c.Calibrate(points[(g+i)%len(points)])
+				p, err := c.Calibrate(context.Background(), points[(g+i)%len(points)])
 				if err != nil {
 					t.Errorf("Calibrate: %v", err)
 					return
@@ -47,7 +48,7 @@ func TestCalibrateConcurrentSingleflight(t *testing.T) {
 	// All observations of the same point must agree.
 	want := make([]float64, len(points))
 	for i, sh := range points {
-		p, err := c.Calibrate(sh)
+		p, err := c.Calibrate(context.Background(), sh)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,14 +78,14 @@ func TestCalibrateGridParallelMatchesSerial(t *testing.T) {
 
 	serialCfg := testConfig()
 	serialCfg.Parallelism = 1
-	serial, err := New(serialCfg).CalibrateGrid(cpuAxis, memAxis, ioAxis)
+	serial, err := New(serialCfg).CalibrateGrid(context.Background(), cpuAxis, memAxis, ioAxis)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	parCfg := testConfig()
 	parCfg.Parallelism = 4
-	par, err := New(parCfg).CalibrateGrid(cpuAxis, memAxis, ioAxis)
+	par, err := New(parCfg).CalibrateGrid(context.Background(), cpuAxis, memAxis, ioAxis)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func BenchmarkCalibrateGrid(b *testing.B) {
 			cfg.Parallelism = j
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := New(cfg).CalibrateGrid(axis, axis, axis); err != nil {
+				if _, err := New(cfg).CalibrateGrid(context.Background(), axis, axis, axis); err != nil {
 					b.Fatal(err)
 				}
 			}

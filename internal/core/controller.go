@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dbvirt/internal/vm"
@@ -16,7 +17,7 @@ type Controller struct {
 	// Model predicts workload costs for candidate allocations.
 	Model CostModel
 	// Solve is the search algorithm (defaults to SolveDP).
-	Solve func(*Problem, CostModel) (*Result, error)
+	Solve func(context.Context, *Problem, CostModel) (*Result, error)
 	// History records every reconfiguration decision.
 	History []ControllerStep
 }
@@ -30,8 +31,9 @@ type ControllerStep struct {
 // Reconfigure solves the design problem for the current workload
 // descriptions and applies the resulting shares to the VMs. VMs are
 // matched to workloads positionally. To avoid transient over-commitment,
-// shares are first lowered everywhere, then raised.
-func (c *Controller) Reconfigure(p *Problem, vms []*vm.VM) (*Result, error) {
+// shares are first lowered everywhere, then raised. A cancelled ctx
+// aborts the solve; shares are never half-applied from a cancelled solve.
+func (c *Controller) Reconfigure(ctx context.Context, p *Problem, vms []*vm.VM) (*Result, error) {
 	if len(vms) != len(p.Workloads) {
 		return nil, fmt.Errorf("core: %d VMs for %d workloads", len(vms), len(p.Workloads))
 	}
@@ -39,7 +41,7 @@ func (c *Controller) Reconfigure(p *Problem, vms []*vm.VM) (*Result, error) {
 	if solve == nil {
 		solve = SolveDP
 	}
-	res, err := solve(p, c.Model)
+	res, err := solve(ctx, p, c.Model)
 	if err != nil {
 		return nil, err
 	}

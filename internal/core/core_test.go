@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,7 +19,7 @@ type funcModel struct {
 }
 
 func (m *funcModel) Name() string { return m.name }
-func (m *funcModel) Cost(w *WorkloadSpec, s vm.Shares) (float64, error) {
+func (m *funcModel) Cost(_ context.Context, w *WorkloadSpec, s vm.Shares) (float64, error) {
 	return m.f(w, s), nil
 }
 
@@ -110,12 +111,12 @@ func TestAllSolversFindCPUShift(t *testing.T) {
 	p := cpuProblem(specs, 0.25)
 	model := cpuHungryModel()
 
-	for name, solve := range map[string]func(*Problem, CostModel) (*Result, error){
+	for name, solve := range map[string]func(context.Context, *Problem, CostModel) (*Result, error){
 		"exhaustive": SolveExhaustive,
 		"dp":         SolveDP,
 		"greedy":     SolveGreedy,
 	} {
-		res, err := solve(p, model)
+		res, err := solve(context.Background(), p, model)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -141,11 +142,11 @@ func TestSolversBeatEqualShares(t *testing.T) {
 	specs := fakeSpecs("hungry", "flat")
 	p := cpuProblem(specs, 0.25)
 	model := cpuHungryModel()
-	opt, err := SolveDP(p, model)
+	opt, err := SolveDP(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	eq, err := EvaluateAllocation(p, model, EqualAllocation(2), "equal")
+	eq, err := EvaluateAllocation(context.Background(), p, model, EqualAllocation(2), "equal")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,11 +182,11 @@ func TestDPMatchesExhaustiveOnRandomCosts(t *testing.T) {
 			return costs[idx][int(math.Round(s.CPU*10))]
 		}
 		p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.1}
-		ex, err := SolveExhaustive(p, model)
+		ex, err := SolveExhaustive(context.Background(), p, model)
 		if err != nil {
 			t.Fatal(err)
 		}
-		dp, err := SolveDP(p, model)
+		dp, err := SolveDP(context.Background(), p, model)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,11 +205,11 @@ func TestGreedyOptimalOnConvexCosts(t *testing.T) {
 		return k / s.CPU
 	}}
 	p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.05}
-	g, err := SolveGreedy(p, model)
+	g, err := SolveGreedy(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
-	d, err := SolveDP(p, model)
+	d, err := SolveDP(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestTwoResourceSearch(t *testing.T) {
 		return 0.1/s.CPU + 1/s.IO
 	}}
 	p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU, vm.IO}, Step: 0.25}
-	res, err := SolveDP(p, model)
+	res, err := SolveDP(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestSLOPenaltyShiftsOptimum(t *testing.T) {
 		return 0.5 / s.CPU
 	}}
 	base := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25}
-	res, err := SolveDP(base, model)
+	res, err := SolveDP(context.Background(), base, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +273,7 @@ func TestSLOPenaltyShiftsOptimum(t *testing.T) {
 		Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25,
 		Objective: Objective{SLOPenalty: 100},
 	}
-	res2, err := SolveDP(withSLO, model)
+	res2, err := SolveDP(context.Background(), withSLO, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +290,7 @@ func TestWeightsShiftOptimum(t *testing.T) {
 	}}
 	specs[1].Weight = 10
 	p := cpuProblem(specs, 0.25)
-	res, err := SolveDP(p, model)
+	res, err := SolveDP(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestMemoizationReducesEvaluations(t *testing.T) {
 		return 1 / s.CPU
 	}}
 	p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.1}
-	res, err := SolveExhaustive(p, model)
+	res, err := SolveExhaustive(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestMemoizationReducesEvaluations(t *testing.T) {
 func TestEvaluateAllocationValidates(t *testing.T) {
 	specs := fakeSpecs("a", "b")
 	p := cpuProblem(specs, 0.25)
-	if _, err := EvaluateAllocation(p, cpuHungryModel(), EqualAllocation(3), "x"); err == nil {
+	if _, err := EvaluateAllocation(context.Background(), p, cpuHungryModel(), EqualAllocation(3), "x"); err == nil {
 		t.Error("wrong-length allocation should fail")
 	}
 }
@@ -344,7 +345,7 @@ func TestControllerReconfigures(t *testing.T) {
 	specs := fakeSpecs("hungry", "flat")
 	p := cpuProblem(specs, 0.25)
 	ctrl := &Controller{Machine: m, Model: cpuHungryModel()}
-	res, err := ctrl.Reconfigure(p, []*vm.VM{v1, v2})
+	res, err := ctrl.Reconfigure(context.Background(), p, []*vm.VM{v1, v2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -367,7 +368,7 @@ func TestControllerReconfigures(t *testing.T) {
 		return 1.0
 	}}
 	ctrl.Model = flip
-	if _, err := ctrl.Reconfigure(p, []*vm.VM{v1, v2}); err != nil {
+	if _, err := ctrl.Reconfigure(context.Background(), p, []*vm.VM{v1, v2}); err != nil {
 		t.Fatal(err)
 	}
 	if v1.Shares().CPU != 0.25 || v2.Shares().CPU != 0.75 {
@@ -378,7 +379,7 @@ func TestControllerReconfigures(t *testing.T) {
 func TestControllerMismatchedVMs(t *testing.T) {
 	ctrl := &Controller{Model: cpuHungryModel()}
 	p := cpuProblem(fakeSpecs("a", "b"), 0.25)
-	if _, err := ctrl.Reconfigure(p, nil); err == nil {
+	if _, err := ctrl.Reconfigure(context.Background(), p, nil); err == nil {
 		t.Error("expected VM count mismatch error")
 	}
 }
@@ -403,7 +404,7 @@ func TestMinShareOverride(t *testing.T) {
 		Step:      0.05,
 		MinShare:  0.2,
 	}
-	res, err := SolveDP(p, cpuHungryModel())
+	res, err := SolveDP(context.Background(), p, cpuHungryModel())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestMinShareOverride(t *testing.T) {
 func TestResultStringFormat(t *testing.T) {
 	specs := fakeSpecs("a", "b")
 	p := cpuProblem(specs, 0.25)
-	res, err := SolveGreedy(p, cpuHungryModel())
+	res, err := SolveGreedy(context.Background(), p, cpuHungryModel())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ func (m *WhatIfModel) Name() string {
 }
 
 // params obtains P(R).
-func (m *WhatIfModel) params(shares vm.Shares) (optimizer.Params, error) {
+func (m *WhatIfModel) params(ctx context.Context, shares vm.Shares) (optimizer.Params, error) {
 	if m.Grid != nil {
 		if p, ok := m.Grid.Lookup(shares); ok {
 			return p, nil
@@ -44,13 +45,13 @@ func (m *WhatIfModel) params(shares vm.Shares) (optimizer.Params, error) {
 	if m.Cal == nil {
 		return optimizer.Params{}, fmt.Errorf("core: WhatIfModel has neither grid nor calibrator")
 	}
-	return m.Cal.Calibrate(shares)
+	return m.Cal.Calibrate(ctx, shares)
 }
 
 // Cost implements CostModel.
-func (m *WhatIfModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+func (m *WhatIfModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Shares) (float64, error) {
 	mWhatIfCalls.Inc()
-	p, err := m.params(shares)
+	p, err := m.params(ctx, shares)
 	if err != nil {
 		return 0, err
 	}
@@ -112,7 +113,10 @@ type MeasuredModel struct {
 func (m *MeasuredModel) Name() string { return "measured" }
 
 // Cost implements CostModel.
-func (m *MeasuredModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+func (m *MeasuredModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	machine, err := vm.NewMachine(m.Machine)
 	if err != nil {
 		return 0, err
@@ -184,7 +188,10 @@ func (m *ProfiledModel) profile(w *WorkloadSpec) (vm.Usage, error) {
 }
 
 // Cost implements CostModel.
-func (m *ProfiledModel) Cost(w *WorkloadSpec, shares vm.Shares) (float64, error) {
+func (m *ProfiledModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	u, err := m.profile(w)
 	if err != nil {
 		return 0, err

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"dbvirt/internal/vm"
+)
+
+// slowModel blocks per evaluation so a search is reliably in flight when
+// the test cancels it.
+type slowModel struct{ delay time.Duration }
+
+func (m *slowModel) Name() string { return "slow" }
+func (m *slowModel) Cost(ctx context.Context, w *WorkloadSpec, s vm.Shares) (float64, error) {
+	select {
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	case <-time.After(m.delay):
+	}
+	return 1 / (s.CPU + 0.1), nil
+}
+
+// TestSolveCancelledMidSearch cancels an exhaustive search mid-sweep and
+// requires a prompt context.Canceled return with all worker goroutines
+// joined.
+func TestSolveCancelledMidSearch(t *testing.T) {
+	specs := fakeSpecs("a", "b", "c")
+	p := &Problem{
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU, vm.IO},
+		Step:        0.05,
+		Parallelism: 4,
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := SolveExhaustive(ctx, p, &slowModel{delay: 2 * time.Millisecond})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveExhaustive error = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 10*time.Second {
+		t.Fatalf("cancellation took %v; want a prompt return", el)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after cancellation", before, g)
+	}
+}
+
+// TestSolveDeadlineExceeded runs a search under an already-expired
+// deadline; every solver must refuse immediately.
+func TestSolveDeadlineExceeded(t *testing.T) {
+	specs := fakeSpecs("a", "b")
+	p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for name, solve := range map[string]func(context.Context, *Problem, CostModel) (*Result, error){
+		"exhaustive": SolveExhaustive,
+		"greedy":     SolveGreedy,
+		"dp":         SolveDP,
+	} {
+		if _, err := solve(ctx, p, &slowModel{delay: time.Millisecond}); !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%s: error = %v, want context.DeadlineExceeded", name, err)
+		}
+	}
+}
+
+// panicModel panics on a subset of allocations, standing in for a cost
+// model bug; solvers must surface an error, not crash the process.
+type panicModel struct{}
+
+func (m *panicModel) Name() string { return "panicky" }
+func (m *panicModel) Cost(_ context.Context, w *WorkloadSpec, s vm.Shares) (float64, error) {
+	if s.CPU > 0.5 {
+		panic("injected cost-model panic")
+	}
+	return 1 / (s.CPU + 0.1), nil
+}
+
+// TestSolvePanicRecovered checks that a panic inside the cost model is
+// converted into a search error at any parallelism.
+func TestSolvePanicRecovered(t *testing.T) {
+	specs := fakeSpecs("a", "b")
+	for _, j := range []int{1, 4} {
+		p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25, Parallelism: j}
+		for name, solve := range map[string]func(context.Context, *Problem, CostModel) (*Result, error){
+			"exhaustive": SolveExhaustive,
+			"greedy":     SolveGreedy,
+		} {
+			_, err := solve(context.Background(), p, &panicModel{})
+			if err == nil {
+				t.Fatalf("%s j=%d: search succeeded despite a panicking model", name, j)
+			}
+			if !strings.Contains(err.Error(), "panic") {
+				t.Fatalf("%s j=%d: error %q does not mention the recovered panic", name, j, err)
+			}
+		}
+	}
+}

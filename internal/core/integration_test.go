@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"dbvirt/internal/calibration"
@@ -65,7 +66,7 @@ func TestWhatIfModelEndToEnd(t *testing.T) {
 		Resources: []vm.Resource{vm.CPU},
 		Step:      0.25,
 	}
-	res, err := SolveDP(p, model)
+	res, err := SolveDP(context.Background(), p, model)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,11 +107,11 @@ func TestMeasuredAndProfiledModels(t *testing.T) {
 
 	measured := &MeasuredModel{Machine: machineCfg, Engine: engCfg, Warmup: true}
 	q13 := specs[1]
-	cLow, err := measured.Cost(q13, vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
+	cLow, err := measured.Cost(context.Background(), q13, vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	cHigh, err := measured.Cost(q13, vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
+	cHigh, err := measured.Cost(context.Background(), q13, vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,11 +123,11 @@ func TestMeasuredAndProfiledModels(t *testing.T) {
 		Machine: machineCfg, Engine: engCfg,
 		Reference: vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.5},
 	}
-	pLow, err := profiled.Cost(q13, vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
+	pLow, err := profiled.Cost(context.Background(), q13, vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pHigh, err := profiled.Cost(q13, vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
+	pHigh, err := profiled.Cost(context.Background(), q13, vm.Shares{CPU: 0.75, Memory: 0.5, IO: 0.5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,11 +136,11 @@ func TestMeasuredAndProfiledModels(t *testing.T) {
 	}
 	// The profiled prediction at the reference point equals the profile
 	// measurement (sanity of the rescaling).
-	pRef, err := profiled.Cost(q13, profiled.Reference)
+	pRef, err := profiled.Cost(context.Background(), q13, profiled.Reference)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mRef, err := measured.Cost(q13, profiled.Reference)
+	mRef, err := measured.Cost(context.Background(), q13, profiled.Reference)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,14 +165,14 @@ func TestWhatIfModelRejectsNonSelect(t *testing.T) {
 		Statements: []string{"INSERT INTO t VALUES (1)"},
 		DB:         specs[0].DB,
 	}
-	if _, err := model.Cost(bad, vm.Equal(2)); err == nil {
+	if _, err := model.Cost(context.Background(), bad, vm.Equal(2)); err == nil {
 		t.Error("non-SELECT workload should be rejected by the what-if model")
 	}
 }
 
 func TestWhatIfModelRequiresSource(t *testing.T) {
 	m := &WhatIfModel{}
-	if _, err := m.Cost(&WorkloadSpec{Name: "x"}, vm.Equal(2)); err == nil {
+	if _, err := m.Cost(context.Background(), &WorkloadSpec{Name: "x"}, vm.Equal(2)); err == nil {
 		t.Error("model without grid or calibrator should fail")
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -13,30 +15,74 @@ import (
 // the convention throughout this package is to write results into
 // pre-indexed slots (or per-worker bests) and merge them in index order
 // afterwards, so the outcome is independent of goroutine scheduling.
-func parallelFor(workers, n int, body func(worker, i int)) {
+//
+// Failure semantics: the first body error (or panic, which is recovered
+// and converted to an error) cancels all dispatch, so no new indices start
+// after a failure — workers drain promptly instead of grinding through
+// the remaining work. Of the failures actually observed before
+// cancellation propagated, the one with the smallest index is returned;
+// on a successful sweep a cancelled ctx returns ctx.Err(). All spawned
+// goroutines have exited by the time parallelFor returns.
+func parallelFor(ctx context.Context, workers, n int, body func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	run := func(w, i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("core: panic evaluating candidate %d: %v", i, r)
+			}
+		}()
+		return body(w, i)
+	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			body(0, i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := run(0, i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	errVals := make([]error, workers)
+	errIdxs := make([]int, workers)
 	for w := 0; w < workers; w++ {
+		errIdxs[w] = n
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				body(w, i)
+				if err := run(w, i); err != nil {
+					errVals[w] = err
+					errIdxs[w] = i
+					cancel()
+					return
+				}
 			}
 		}(w)
 	}
 	wg.Wait()
+	best := -1
+	for w := range errVals {
+		if errVals[w] != nil && (best < 0 || errIdxs[w] < errIdxs[best]) {
+			best = w
+		}
+	}
+	if best >= 0 {
+		return errVals[best]
+	}
+	return ctx.Err()
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -41,7 +42,7 @@ func TestCostCacheConcurrent(t *testing.T) {
 			results[g] = make([]float64, perG)
 			for i := 0; i < perG; i++ {
 				wi := (g + i) % len(specs)
-				v, err := cache.Cost(wi, specs[wi], shares(g*7+i))
+				v, err := cache.Cost(context.Background(), wi, specs[wi], shares(g*7+i))
 				if err != nil {
 					t.Errorf("Cost: %v", err)
 					return
@@ -84,7 +85,7 @@ func TestParallelSolversMatchSerial(t *testing.T) {
 	}}
 	solvers := []struct {
 		name  string
-		solve func(*Problem, CostModel) (*Result, error)
+		solve func(context.Context, *Problem, CostModel) (*Result, error)
 	}{
 		{"exhaustive", SolveExhaustive},
 		{"greedy", SolveGreedy},
@@ -100,7 +101,7 @@ func TestParallelSolversMatchSerial(t *testing.T) {
 					Step:        0.25,
 					Parallelism: j,
 				}
-				r, err := sv.solve(p, model)
+				r, err := sv.solve(context.Background(), p, model)
 				if err != nil {
 					t.Fatalf("j=%d: %v", j, err)
 				}
@@ -129,10 +130,10 @@ func TestParallelSolversPropagateErrors(t *testing.T) {
 	bad := &errModel{}
 	for _, j := range []int{1, 4} {
 		p := &Problem{Workloads: specs, Resources: []vm.Resource{vm.CPU}, Step: 0.25, Parallelism: j}
-		if _, err := SolveExhaustive(p, bad); err == nil {
+		if _, err := SolveExhaustive(context.Background(), p, bad); err == nil {
 			t.Fatalf("j=%d: exhaustive: want error", j)
 		}
-		if _, err := SolveGreedy(p, bad); err == nil {
+		if _, err := SolveGreedy(context.Background(), p, bad); err == nil {
 			t.Fatalf("j=%d: greedy: want error", j)
 		}
 	}
@@ -141,7 +142,7 @@ func TestParallelSolversPropagateErrors(t *testing.T) {
 type errModel struct{}
 
 func (m *errModel) Name() string { return "err" }
-func (m *errModel) Cost(w *WorkloadSpec, s vm.Shares) (float64, error) {
+func (m *errModel) Cost(_ context.Context, w *WorkloadSpec, s vm.Shares) (float64, error) {
 	if s.CPU > 0.6 {
 		return 0, fmt.Errorf("model failure at cpu=%g", s.CPU)
 	}
@@ -180,7 +181,7 @@ func BenchmarkExhaustiveSearch(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := SolveExhaustive(p, model); err != nil {
+				if _, err := SolveExhaustive(context.Background(), p, model); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -203,7 +204,7 @@ func BenchmarkGreedySearch(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := SolveGreedy(p, model); err != nil {
+				if _, err := SolveGreedy(context.Background(), p, model); err != nil {
 					b.Fatal(err)
 				}
 			}

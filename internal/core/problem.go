@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -218,8 +219,10 @@ func (p *Problem) objectiveTerm(w *WorkloadSpec, cost float64) float64 {
 // CostModel predicts the cost (seconds) of running a workload under a
 // resource allocation — the paper's Cost(W_i, R_i).
 type CostModel interface {
-	// Cost returns the predicted execution time in seconds.
-	Cost(w *WorkloadSpec, shares vm.Shares) (float64, error)
+	// Cost returns the predicted execution time in seconds. Implementations
+	// that measure or calibrate should honor ctx cancellation; pure
+	// estimators may ignore it.
+	Cost(ctx context.Context, w *WorkloadSpec, shares vm.Shares) (float64, error)
 	// Name identifies the model in reports.
 	Name() string
 }
@@ -249,10 +252,10 @@ func (r *Result) String() string {
 
 // evaluate computes the objective of an allocation, using a memoizing
 // wrapper around the cost model.
-func (p *Problem) evaluate(m *costCache, alloc Allocation) (total float64, costs []float64, err error) {
+func (p *Problem) evaluate(ctx context.Context, m *costCache, alloc Allocation) (total float64, costs []float64, err error) {
 	costs = make([]float64, len(p.Workloads))
 	for i, w := range p.Workloads {
-		c, err := m.Cost(i, w, alloc[i])
+		c, err := m.Cost(ctx, i, w, alloc[i])
 		if err != nil {
 			return 0, nil, err
 		}
@@ -319,8 +322,10 @@ func quantizeShares(s vm.Shares) [3]int64 {
 }
 
 // Cost returns the memoized cost of workload wi (== p.Workloads[wi])
-// under the given shares, computing it at most once per distinct key.
-func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, error) {
+// under the given shares, computing it at most once per distinct key. A
+// waiter whose ctx is cancelled stops waiting; the in-flight computation
+// it joined continues for any other waiters.
+func (m *costCache) Cost(ctx context.Context, wi int, w *WorkloadSpec, shares vm.Shares) (float64, error) {
 	k := memoKey{wi: wi, key: quantizeShares(shares)}
 	sh := &m.shards[k.shard()]
 	sh.mu.Lock()
@@ -335,7 +340,11 @@ func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, er
 		case <-e.done:
 		default:
 			mCacheInWait.Inc()
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
 		}
 		return e.val, e.err
 	}
@@ -344,18 +353,28 @@ func (m *costCache) Cost(wi int, w *WorkloadSpec, shares vm.Shares) (float64, er
 	sh.mu.Unlock()
 
 	start := time.Now()
-	e.val, e.err = m.inner.Cost(w, shares)
-	if e.err == nil {
-		m.evals.Add(1)
-		mCacheMiss.Inc()
-		hEvalSeconds.ObserveSince(start)
-	}
-	close(e.done)
-	if e.err != nil {
-		sh.mu.Lock()
-		delete(sh.entries, k)
-		sh.mu.Unlock()
-	}
+	func() {
+		// A panicking model must not leave the entry's done channel open:
+		// joined waiters would block on it forever. Convert the panic to an
+		// error and finalize the entry exactly like any other failure.
+		defer func() {
+			if r := recover(); r != nil {
+				e.val, e.err = 0, fmt.Errorf("core: cost model %s panicked: %v", m.inner.Name(), r)
+			}
+			if e.err == nil {
+				m.evals.Add(1)
+				mCacheMiss.Inc()
+				hEvalSeconds.ObserveSince(start)
+			}
+			close(e.done)
+			if e.err != nil {
+				sh.mu.Lock()
+				delete(sh.entries, k)
+				sh.mu.Unlock()
+			}
+		}()
+		e.val, e.err = m.inner.Cost(ctx, w, shares)
+	}()
 	return e.val, e.err
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -105,8 +106,10 @@ func (c *exhaustiveCand) better(cur *exhaustiveCand) bool {
 // it is only feasible for small N and coarse steps; it exists as the
 // ground truth for the other algorithms. Candidates are evaluated on
 // p.Parallelism workers over a shared memoized cost cache; the result is
-// identical to a serial scan regardless of scheduling.
-func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
+// identical to a serial scan regardless of scheduling. The first
+// evaluation error cancels the remaining candidates, and cancelling ctx
+// aborts the search promptly.
+func SolveExhaustive(ctx context.Context, p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -139,41 +142,27 @@ func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
 		workers = numCands
 	}
 	bests := make([]*exhaustiveCand, workers)
-	errs := make([]error, workers)
-	errIdxs := make([]int, workers)
 	decodeBufs := make([][][]int, workers)
 	for w := range decodeBufs {
 		decodeBufs[w] = make([][]int, len(perRes))
 	}
-	parallelFor(workers, numCands, func(w, idx int) {
-		if errs[w] != nil {
-			return
-		}
+	// The first failing candidate cancels dispatch (parallelFor) so the
+	// pool stops promptly instead of evaluating the rest of the space.
+	if err := parallelFor(ctx, workers, numCands, func(w, idx int) error {
 		resUnits := decodeBufs[w]
 		decode(idx, resUnits)
 		alloc := p.allocationFromResUnits(resUnits)
-		total, costs, err := p.evaluate(memo, alloc)
+		total, costs, err := p.evaluate(ctx, memo, alloc)
 		if err != nil {
-			errs[w] = err
-			errIdxs[w] = idx
-			return
+			return err
 		}
 		c := &exhaustiveCand{idx: idx, total: total, costs: costs, alloc: alloc}
 		if c.better(bests[w]) {
 			bests[w] = c
 		}
-	})
-
-	// Deterministic error selection: the failure at the smallest index.
-	var firstErr error
-	firstErrIdx := numCands
-	for w, err := range errs {
-		if err != nil && errIdxs[w] < firstErrIdx {
-			firstErr, firstErrIdx = err, errIdxs[w]
-		}
-	}
-	if firstErr != nil {
-		return nil, firstErr
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	var best *exhaustiveCand
@@ -195,8 +184,9 @@ func SolveExhaustive(p *Problem, model CostModel) (*Result, error) {
 // workloads, with the remaining units of each searched resource as state.
 // The objective is separable across workloads (each workload's cost
 // depends only on its own shares), which is exactly the structure the
-// paper suggests exploiting with standard DP.
-func SolveDP(p *Problem, model CostModel) (*Result, error) {
+// paper suggests exploiting with standard DP. Cancelling ctx aborts the
+// recursion at the next state expansion.
+func SolveDP(ctx context.Context, p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -220,6 +210,9 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 
 	var solve func(st state) (entry, error)
 	solve = func(st state) (entry, error) {
+		if err := ctx.Err(); err != nil {
+			return entry{}, err
+		}
 		if e, ok := table[st]; ok {
 			return e, nil
 		}
@@ -231,7 +224,7 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 		var rec func(ri int) error
 		rec = func(ri int) error {
 			if ri == nr {
-				c, err := memo.Cost(st.i, w, p.sharesFromUnits(units))
+				c, err := memo.Cost(ctx, st.i, w, p.sharesFromUnits(units))
 				if err != nil {
 					return err
 				}
@@ -304,7 +297,7 @@ func SolveDP(p *Problem, model CostModel) (*Result, error) {
 		st = next
 	}
 	alloc := p.allocationFromResUnits(resUnits)
-	total, costs, err := p.evaluate(memo, alloc)
+	total, costs, err := p.evaluate(ctx, memo, alloc)
 	if err != nil {
 		return nil, err
 	}
@@ -330,8 +323,10 @@ type greedyMove struct {
 // and optimal in practice for well-behaved cost surfaces. Each round's
 // neighbor moves are evaluated on p.Parallelism workers into pre-indexed
 // slots and then selected by a serial scan in move order, so the chosen
-// move is identical to a fully serial search.
-func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
+// move is identical to a fully serial search. The first evaluation error
+// cancels the round's remaining moves, and cancelling ctx aborts the
+// search promptly.
+func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -359,7 +354,7 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 	}
 
 	alloc := p.allocationFromResUnits(resUnits)
-	bestTotal, bestCosts, err := p.evaluate(memo, alloc)
+	bestTotal, bestCosts, err := p.evaluate(ctx, memo, alloc)
 	if err != nil {
 		return nil, err
 	}
@@ -390,9 +385,8 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 		// move's slot.
 		totals := make([]float64, len(moves))
 		costs := make([][]float64, len(moves))
-		errs := make([]error, len(moves))
 		scratch := make([][][]int, workers)
-		parallelFor(workers, len(moves), func(w, mi int) {
+		if err := parallelFor(ctx, workers, len(moves), func(w, mi int) error {
 			if scratch[w] == nil {
 				cp := make([][]int, len(resUnits))
 				for k := range resUnits {
@@ -407,12 +401,11 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 			cand := p.allocationFromResUnits(u)
 			u[mv.ri][mv.donor]++
 			u[mv.ri][mv.recv]--
-			totals[mi], costs[mi], errs[mi] = p.evaluate(memo, cand)
-		})
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
-			}
+			var err error
+			totals[mi], costs[mi], err = p.evaluate(ctx, memo, cand)
+			return err
+		}); err != nil {
+			return nil, err
 		}
 
 		// Select the winning move exactly as a serial scan would: first
@@ -453,7 +446,7 @@ func SolveGreedy(p *Problem, model CostModel) (*Result, error) {
 
 // EvaluateAllocation scores an arbitrary allocation (e.g. the equal-shares
 // baseline) under a cost model, returning a Result for comparison.
-func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name string) (*Result, error) {
+func EvaluateAllocation(ctx context.Context, p *Problem, model CostModel, alloc Allocation, name string) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -464,7 +457,7 @@ func EvaluateAllocation(p *Problem, model CostModel, alloc Allocation, name stri
 	sp := p.Obs.Span("core.evaluate." + name)
 	defer sp.End()
 	memo := newCostCache(model)
-	total, costs, err := p.evaluate(memo, alloc)
+	total, costs, err := p.evaluate(ctx, memo, alloc)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -57,11 +58,11 @@ func (e *Env) AblationSearch(n int, step float64) ([]SearchRow, error) {
 	}
 	solvers := []solver{
 		{"equal", func() (*core.Result, error) {
-			return core.EvaluateAllocation(problem, model, core.EqualAllocation(n), "equal")
+			return core.EvaluateAllocation(context.Background(), problem, model, core.EqualAllocation(n), "equal")
 		}},
-		{"greedy", func() (*core.Result, error) { return core.SolveGreedy(problem, model) }},
-		{"dp", func() (*core.Result, error) { return core.SolveDP(problem, model) }},
-		{"exhaustive", func() (*core.Result, error) { return core.SolveExhaustive(problem, model) }},
+		{"greedy", func() (*core.Result, error) { return core.SolveGreedy(context.Background(), problem, model) }},
+		{"dp", func() (*core.Result, error) { return core.SolveDP(context.Background(), problem, model) }},
+		{"exhaustive", func() (*core.Result, error) { return core.SolveExhaustive(context.Background(), problem, model) }},
 	}
 	var rows []SearchRow
 	for _, s := range solvers {
@@ -120,14 +121,14 @@ func (e *Env) AblationCalibrationGrid() ([]GridRow, error) {
 	}
 	var rows []GridRow
 	for _, axis := range axes {
-		g, err := cal.CalibrateGrid(axis, []float64{0.5}, []float64{0.5})
+		g, err := cal.CalibrateGrid(context.Background(), axis, []float64{0.5}, []float64{0.5})
 		if err != nil {
 			return nil, err
 		}
 		var maxErr, sumErr float64
 		for _, cpu := range probeShares {
 			sh := vm.Shares{CPU: cpu, Memory: 0.5, IO: 0.5}
-			direct, err := cal.Calibrate(sh)
+			direct, err := cal.Calibrate(context.Background(), sh)
 			if err != nil {
 				return nil, err
 			}
@@ -260,7 +261,7 @@ func (e *Env) DynamicReconfig() (*DynamicResult, error) {
 	}
 
 	runPhases := func(dynamic bool) (float64, bool, error) {
-		sol1, err := core.SolveDP(mkProblem(w1, w2Phase1), model)
+		sol1, err := core.SolveDP(context.Background(), mkProblem(w1, w2Phase1), model)
 		if err != nil {
 			return 0, false, err
 		}
@@ -284,7 +285,7 @@ func (e *Env) DynamicReconfig() (*DynamicResult, error) {
 		reconfigured := false
 		if dynamic {
 			ctrl := &core.Controller{Machine: dep.Machine, Model: model}
-			if _, err := ctrl.Reconfigure(mkProblem(w1Phase2, w2Phase2), dep.VMs); err != nil {
+			if _, err := ctrl.Reconfigure(context.Background(), mkProblem(w1Phase2, w2Phase2), dep.VMs); err != nil {
 				return 0, false, err
 			}
 			reconfigured = len(ctrl.History) == 1 && ctrl.History[0].Applied
@@ -351,7 +352,7 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 		Parallelism: e.Parallelism,
 		Obs:         e.Obs,
 	}
-	unconstrained, err := core.SolveDP(base, model)
+	unconstrained, err := core.SolveDP(context.Background(), base, model)
 	if err != nil {
 		return nil, err
 	}
@@ -367,7 +368,7 @@ func (e *Env) SLOWeighted() (*SLOResult, error) {
 		Parallelism: e.Parallelism,
 		Obs:         e.Obs,
 	}
-	sol, err := core.SolveDP(constrained, model)
+	sol, err := core.SolveDP(context.Background(), constrained, model)
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +432,7 @@ func (e *Env) MemoryDimension() (*MemoryDimensionResult, error) {
 		return nil, err
 	}
 	model := &core.WhatIfModel{Cal: env.Calibrator()}
-	cpuOnly, err := core.SolveDP(&core.Problem{
+	cpuOnly, err := core.SolveDP(context.Background(), &core.Problem{
 		Workloads:   specs,
 		Resources:   []vm.Resource{vm.CPU},
 		Step:        0.25,
@@ -441,7 +442,7 @@ func (e *Env) MemoryDimension() (*MemoryDimensionResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	joint, err := core.SolveDP(&core.Problem{
+	joint, err := core.SolveDP(context.Background(), &core.Problem{
 		Workloads:   specs,
 		Resources:   []vm.Resource{vm.CPU, vm.Memory},
 		Step:        0.25,

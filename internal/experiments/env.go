@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -152,7 +153,7 @@ func (e *Env) MeasureQuery(db *engine.Database, query string, shares vm.Shares) 
 // EstimateQuery plans one query under the calibrated P(shares) and
 // returns the estimated seconds.
 func (e *Env) EstimateQuery(db *engine.Database, query string, shares vm.Shares) (float64, error) {
-	p, err := e.Calibrator().Calibrate(shares)
+	p, err := e.Calibrator().Calibrate(context.Background(), shares)
 	if err != nil {
 		return 0, err
 	}

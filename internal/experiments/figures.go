@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ func (e *Env) Figure3(cpuShares, memShares []float64, ioShare float64) ([]Fig3Ro
 	var rows []Fig3Row
 	for _, mem := range memShares {
 		for _, cpu := range cpuShares {
-			p, err := e.Calibrator().Calibrate(vm.Shares{CPU: cpu, Memory: mem, IO: ioShare})
+			p, err := e.Calibrator().Calibrate(context.Background(), vm.Shares{CPU: cpu, Memory: mem, IO: ioShare})
 			if err != nil {
 				return nil, err
 			}
@@ -175,7 +176,7 @@ func (e *Env) Figure5() (*Fig5Result, error) {
 		Parallelism: e.Parallelism,
 		Obs:         e.Obs,
 	}
-	sol, err := core.SolveDP(problem, model)
+	sol, err := core.SolveDP(context.Background(), problem, model)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,94 @@
+package linalg
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestRobustMatchesLSOnCleanData: with no outliers the IRLS weights stay
+// at 1 and the robust fit must equal the plain fit.
+func TestRobustMatchesLSOnCleanData(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}})
+	b := []float64{1.0, 2.0, 3.0, 4.0}
+	ls, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := RobustLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ls {
+		if math.Abs(ls[i]-rob[i]) > 1e-9 {
+			t.Fatalf("clean data: robust %v != LS %v", rob, ls)
+		}
+	}
+}
+
+// TestRobustRejectsOutlier: one wildly corrupted observation should barely
+// move the robust fit while badly skewing plain least squares.
+func TestRobustRejectsOutlier(t *testing.T) {
+	// y = 2x + 1 sampled at x = 1..8, with y[5] corrupted by 50x.
+	rows := make([][]float64, 8)
+	b := make([]float64, 8)
+	for i := range rows {
+		x := float64(i + 1)
+		rows[i] = []float64{x, 1}
+		b[i] = 2*x + 1
+	}
+	b[5] *= 50
+	a := FromRows(rows)
+	ls, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rob, err := RobustLeastSquares(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsErr := math.Abs(ls[0]-2) + math.Abs(ls[1]-1)
+	robErr := math.Abs(rob[0]-2) + math.Abs(rob[1]-1)
+	if robErr > lsErr/10 {
+		t.Fatalf("robust fit %v (err %g) not much better than LS %v (err %g)", rob, robErr, ls, lsErr)
+	}
+	if robErr > 0.2 {
+		t.Fatalf("robust fit %v too far from truth (2, 1)", rob)
+	}
+}
+
+func TestCond1(t *testing.T) {
+	ident := FromRows([][]float64{{1, 0}, {0, 1}})
+	if c := Cond1(ident); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("cond(I) = %g, want 1", c)
+	}
+	// Nearly dependent columns: condition number should be large.
+	ill := FromRows([][]float64{{1, 1}, {1, 1 + 1e-9}})
+	if c := Cond1(ill); c < 1e6 {
+		t.Fatalf("cond of near-singular matrix = %g, want large", c)
+	}
+	sing := FromRows([][]float64{{1, 1}, {1, 1}})
+	if c := Cond1(sing); !math.IsInf(c, 1) {
+		t.Fatalf("cond of singular matrix = %g, want +Inf", c)
+	}
+}
+
+func TestDescribeSystem(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	d := DescribeSystem(a)
+	if !strings.Contains(d, "3x2") || !strings.Contains(d, "cond") {
+		t.Fatalf("DescribeSystem = %q", d)
+	}
+}
+
+func TestMedianAndMAD(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("median odd = %g", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("median even = %g", m)
+	}
+	if s := madScale([]float64{1, 1, 1, 1}); s != 0 {
+		t.Fatalf("madScale of constants = %g, want 0", s)
+	}
+}
