@@ -12,11 +12,13 @@
 package dbvirt_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
 	"testing"
 
+	"dbvirt/internal/core"
 	"dbvirt/internal/experiments"
 	"dbvirt/internal/obs"
 )
@@ -118,6 +120,60 @@ func BenchmarkFigure5WorkloadSplit(b *testing.B) {
 			gain, loss := res.Improvement()
 			b.ReportMetric(gain*100, "w2_gain_%")
 			b.ReportMetric(loss*100, "w1_loss_%")
+		}
+	}
+}
+
+// BenchmarkWhatIfCostMatrix measures the design search's inner loop —
+// every workload priced at every candidate allocation — in the two
+// regimes the what-if re-costing fast path distinguishes. "cold"
+// re-parses, re-binds, and re-enumerates each statement on every call
+// (the pre-memoization behavior, via NoPrepare); "memo" shares one
+// model whose prepared statements carry their plan-space memos and
+// enumeration snapshots across the whole matrix, so most calls are
+// O(plan nodes) re-costs. The parameter lattice is synthetic and
+// deterministic: no calibration runs, identical costs both ways.
+func BenchmarkWhatIfCostMatrix(b *testing.B) {
+	e := sharedEnv(b)
+	specs, err := e.MatrixWorkloads(3, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	axis := []float64{0.25, 0.5, 0.75, 1.0}
+	g, err := experiments.SyntheticGrid(axis, axis, axis)
+	if err != nil {
+		b.Fatal(err)
+	}
+	allocs := g.Allocations()
+	ctx := context.Background()
+
+	matrix := func(b *testing.B, model *core.WhatIfModel) [][]float64 {
+		var out [][]float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := experiments.CostMatrix(ctx, model, specs, allocs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out = m
+		}
+		b.ReportMetric(float64(len(specs)*len(allocs)), "whatif_calls/op")
+		return out
+	}
+
+	var cold, memo [][]float64
+	b.Run("cold", func(b *testing.B) {
+		cold = matrix(b, &core.WhatIfModel{Grid: g, NoPrepare: true})
+	})
+	b.Run("memo", func(b *testing.B) {
+		memo = matrix(b, &core.WhatIfModel{Grid: g})
+	})
+	// The fast path is only a fast path if it changes nothing.
+	for i := range cold {
+		for j := range cold[i] {
+			if memo == nil || memo[i][j] != cold[i][j] {
+				b.Fatalf("cost divergence at [%d][%d]: memo %v, cold %v", i, j, memo[i][j], cold[i][j])
+			}
 		}
 	}
 }

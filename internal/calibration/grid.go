@@ -54,6 +54,54 @@ func (g *Grid) latticeShares(ic, im, ii int) vm.Shares {
 	return vm.Shares{CPU: g.cpus[ic], Memory: g.mems[im], IO: g.ios[ii]}
 }
 
+// NewGrid builds a grid directly from axes and pre-computed parameter
+// points, without running calibration experiments. Points are given in
+// the grid's dense order — CPU-major, then memory, then I/O, matching
+// Allocations — and their length must be the product of the axis
+// lengths. Axes must be non-empty and sorted ascending, and every
+// parameter vector must validate. Synthetic grids built this way drive
+// deterministic what-if benchmarks and tests that must not depend on
+// calibration measurements.
+func NewGrid(cpus, mems, ios []float64, points []optimizer.Params) (*Grid, error) {
+	for _, axis := range [][]float64{cpus, mems, ios} {
+		if len(axis) == 0 {
+			return nil, fmt.Errorf("calibration: empty grid axis")
+		}
+		if !sort.Float64sAreSorted(axis) {
+			return nil, fmt.Errorf("calibration: grid axis must be sorted")
+		}
+	}
+	g := newGrid(cpus, mems, ios)
+	if len(points) != len(g.points) {
+		return nil, fmt.Errorf("calibration: grid wants %d points (%d cpu x %d mem x %d io), got %d",
+			len(g.points), len(cpus), len(mems), len(ios), len(points))
+	}
+	for idx, p := range points {
+		if err := p.Validate(); err != nil {
+			ic, im, ii := g.coords(idx)
+			sh := g.latticeShares(ic, im, ii)
+			return nil, fmt.Errorf("calibration: grid point (%g,%g,%g): %w", sh.CPU, sh.Memory, sh.IO, err)
+		}
+	}
+	copy(g.points, points)
+	return g, nil
+}
+
+// Allocations returns every lattice point's allocation in the grid's
+// dense order (CPU-major, then memory, then I/O) — the order NewGrid
+// expects its points in. The slice is freshly allocated.
+func (g *Grid) Allocations() []vm.Shares {
+	out := make([]vm.Shares, 0, len(g.points))
+	for ic := range g.cpus {
+		for im := range g.mems {
+			for ii := range g.ios {
+				out = append(out, g.latticeShares(ic, im, ii))
+			}
+		}
+	}
+	return out
+}
+
 // GridOptions controls fault tolerance and persistence of a grid
 // calibration run; the zero value matches plain CalibrateGrid.
 type GridOptions struct {

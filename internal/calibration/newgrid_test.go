@@ -1,0 +1,105 @@
+package calibration
+
+import (
+	"strings"
+	"testing"
+
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/vm"
+)
+
+func syntheticPoint(f float64) optimizer.Params {
+	p := optimizer.DefaultParams()
+	p.RandomPageCost = 1 + f
+	p.TimePerSeqPage = 1e-4 * (1 + f)
+	return p
+}
+
+func TestNewGridRoundTrip(t *testing.T) {
+	cpus := []float64{0.25, 0.5, 1.0}
+	mems := []float64{0.5, 1.0}
+	ios := []float64{0.25, 1.0}
+	n := len(cpus) * len(mems) * len(ios)
+	points := make([]optimizer.Params, n)
+	for i := range points {
+		points[i] = syntheticPoint(float64(i))
+	}
+	g, err := NewGrid(cpus, mems, ios, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := g.Allocations()
+	if len(allocs) != n {
+		t.Fatalf("Allocations returned %d entries, want %d", len(allocs), n)
+	}
+	// Allocations enumerates in the dense order NewGrid consumed the
+	// points in, so zipping them must reproduce every lattice value.
+	for i, sh := range allocs {
+		got, ok := g.Lookup(sh)
+		if !ok {
+			t.Fatalf("Lookup missed lattice point %v", sh)
+		}
+		if got != points[i] {
+			t.Errorf("point %d (%v): Lookup = %+v, want %+v", i, sh, got, points[i])
+		}
+	}
+	// First axis is CPU-major: the first len(mems)*len(ios) allocations
+	// all carry the lowest CPU share.
+	for i := 0; i < len(mems)*len(ios); i++ {
+		if allocs[i].CPU != cpus[0] {
+			t.Fatalf("alloc %d CPU = %v, want %v (CPU-major order)", i, allocs[i].CPU, cpus[0])
+		}
+	}
+
+	// Interpolation between two lattice points stays between their values.
+	mid := g.Interpolate(vm.Shares{CPU: 0.375, Memory: 0.5, IO: 0.25})
+	lo, _ := g.Lookup(vm.Shares{CPU: 0.25, Memory: 0.5, IO: 0.25})
+	hi, _ := g.Lookup(vm.Shares{CPU: 0.5, Memory: 0.5, IO: 0.25})
+	if mid.RandomPageCost <= lo.RandomPageCost || mid.RandomPageCost >= hi.RandomPageCost {
+		t.Errorf("interpolated RandomPageCost %v not between %v and %v",
+			mid.RandomPageCost, lo.RandomPageCost, hi.RandomPageCost)
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	axis := []float64{0.5, 1.0}
+	good := make([]optimizer.Params, 8)
+	for i := range good {
+		good[i] = syntheticPoint(float64(i))
+	}
+	cases := []struct {
+		name string
+		do   func() error
+		want string
+	}{
+		{"empty axis", func() error {
+			_, err := NewGrid(nil, axis, axis, nil)
+			return err
+		}, "empty grid axis"},
+		{"unsorted axis", func() error {
+			_, err := NewGrid([]float64{1.0, 0.5}, axis, axis, good)
+			return err
+		}, "must be sorted"},
+		{"wrong point count", func() error {
+			_, err := NewGrid(axis, axis, axis, good[:5])
+			return err
+		}, "got 5"},
+		{"invalid params", func() error {
+			bad := append([]optimizer.Params(nil), good...)
+			bad[3].SeqPageCost = 0
+			_, err := NewGrid(axis, axis, axis, bad)
+			return err
+		}, "SeqPageCost"},
+	}
+	for _, tc := range cases {
+		err := tc.do()
+		if err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

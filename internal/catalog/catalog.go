@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"dbvirt/internal/index"
 	"dbvirt/internal/storage"
@@ -115,14 +116,25 @@ type IndexStats struct {
 
 // Catalog is the set of tables in one database.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu      sync.RWMutex
+	tables  map[string]*Table
+	version atomic.Uint64
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
+
+// Version is a monotonic counter bumped whenever anything a query plan
+// depends on changes: table and index DDL, restored tables, refreshed
+// statistics, or data modifications. Callers caching bound queries or
+// plans key them by this version and rebuild on mismatch.
+func (c *Catalog) Version() uint64 { return c.version.Load() }
+
+// Invalidate bumps the catalog version. DDL entry points call it
+// internally; the engine calls it after ANALYZE and DML.
+func (c *Catalog) Invalidate() { c.version.Add(1) }
 
 // CreateTable registers a new table backed by a fresh heap file.
 func (c *Catalog) CreateTable(disk *storage.DiskManager, name string, schema Schema) (*Table, error) {
@@ -149,6 +161,7 @@ func (c *Catalog) CreateTable(disk *storage.DiskManager, name string, schema Sch
 		Heap:   storage.NewHeapFile(disk.CreateFile()),
 	}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -163,6 +176,7 @@ func (c *Catalog) RestoreTable(name string, schema Schema, heapFID storage.FileI
 	}
 	t := &Table{Name: name, Schema: schema, Heap: storage.NewHeapFile(heapFID)}
 	c.tables[key] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -228,5 +242,6 @@ func (c *Catalog) CreateIndex(disk *storage.DiskManager, pg storage.Pager, name,
 	c.mu.Lock()
 	t.Indexes = append(t.Indexes, ix)
 	c.mu.Unlock()
+	c.version.Add(1)
 	return ix, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"dbvirt/internal/calibration"
 	"dbvirt/internal/engine"
@@ -24,6 +25,21 @@ type WhatIfModel struct {
 	// Grid, if set, answers allocations by trilinear interpolation,
 	// avoiding new calibration experiments (the paper's §7 refinement).
 	Grid *calibration.Grid
+	// NoPrepare disables the prepared-statement cache, re-parsing,
+	// re-binding, and re-enumerating every statement on every call — the
+	// pre-memoization behavior, kept as the cold baseline for benchmarks
+	// and differential tests.
+	NoPrepare bool
+
+	prepOnce sync.Once
+	prep     *stmtCache
+}
+
+// prepared returns the model's statement cache, creating it lazily so the
+// zero value (and composite-literal construction) keeps working.
+func (m *WhatIfModel) prepared() *stmtCache {
+	m.prepOnce.Do(func() { m.prep = newStmtCache() })
+	return m.prep
 }
 
 // Name implements CostModel.
@@ -57,7 +73,12 @@ func (m *WhatIfModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Share
 	}
 	var total float64
 	for _, stmt := range w.Statements {
-		est, err := estimateStatement(w.DB, stmt, p)
+		var est float64
+		if m.NoPrepare {
+			est, err = estimateStatement(w.DB, stmt, p)
+		} else {
+			est, err = m.estimatePrepared(w.DB, stmt, p)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("core: workload %s: %w", w.Name, err)
 		}
@@ -66,12 +87,28 @@ func (m *WhatIfModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Share
 	return total, nil
 }
 
+// estimatePrepared is the memoized counterpart of estimateStatement: the
+// statement's parse, bind, and plan space are cached across calls (and
+// across allocations), so pricing it under a new P is usually a re-cost
+// of the recorded plan tree rather than a fresh enumeration.
+func (m *WhatIfModel) estimatePrepared(db *engine.Database, stmt string, p optimizer.Params) (float64, error) {
+	pq, err := m.prepared().prepared(db, stmt)
+	if err != nil {
+		return 0, err
+	}
+	pl, err := pq.Optimize(p)
+	if err != nil {
+		return 0, err
+	}
+	return pl.EstimatedSeconds(), nil
+}
+
 // estimateStatement plans one SELECT under P and returns its estimated
 // seconds. Non-SELECT statements are rejected: design-time workloads are
 // query workloads, as in the paper.
 func estimateStatement(db *engine.Database, stmt string, p optimizer.Params) (float64, error) {
 	if !strings.HasPrefix(strings.TrimSpace(strings.ToUpper(stmt)), "SELECT") {
-		return 0, fmt.Errorf("only SELECT statements can be cost-estimated, got %q", firstWords(stmt))
+		return 0, fmt.Errorf("only SELECT statements can be cost-estimated, got %q", truncateSQL(NormalizeSQL(stmt)))
 	}
 	sel, err := sql.ParseSelect(stmt)
 	if err != nil {
@@ -86,14 +123,6 @@ func estimateStatement(db *engine.Database, stmt string, p optimizer.Params) (fl
 		return 0, err
 	}
 	return pl.EstimatedSeconds(), nil
-}
-
-func firstWords(s string) string {
-	f := strings.Fields(s)
-	if len(f) > 3 {
-		f = f[:3]
-	}
-	return strings.Join(f, " ")
 }
 
 // MeasuredModel is the oracle cost model: it actually runs the workload

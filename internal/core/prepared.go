@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dbvirt/internal/engine"
+	"dbvirt/internal/obs"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+)
+
+var (
+	mPreparedHit  = obs.Global.Counter("core.prepared.hit")
+	mPreparedMiss = obs.Global.Counter("core.prepared.miss")
+)
+
+// NormalizeSQL canonicalizes statement text for cache identity: runs of
+// whitespace outside single-quoted literals collapse to one space,
+// surrounding whitespace and a trailing semicolon are dropped. Two
+// statements normalizing equal parse and bind identically, so — unlike
+// the old first-words keying — the normalized text is a collision-free
+// cache key.
+func NormalizeSQL(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	inStr := false
+	pendingSpace := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inStr {
+			b.WriteByte(c)
+			if c == '\'' {
+				if i+1 < len(s) && s[i+1] == '\'' {
+					b.WriteByte('\'') // doubled quote stays inside the literal
+					i++
+				} else {
+					inStr = false
+				}
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			pendingSpace = true
+		default:
+			if pendingSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			pendingSpace = false
+			if c == '\'' {
+				inStr = true
+			}
+			b.WriteByte(c)
+		}
+	}
+	out := b.String()
+	out = strings.TrimSuffix(out, ";")
+	return strings.TrimRight(out, " ")
+}
+
+// truncateSQL shortens statement text for error messages.
+func truncateSQL(s string) string {
+	const max = 60
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "..."
+}
+
+// stmtKey identifies one prepared statement: the database it binds
+// against plus its normalized text. The catalog version is checked on
+// every lookup rather than baked into the key so stale entries are
+// replaced instead of accumulating.
+type stmtKey struct {
+	db  *engine.Database
+	sql string
+}
+
+type stmtEntry struct {
+	version uint64
+	pq      *optimizer.PreparedQuery
+	err     error
+}
+
+// stmtCache is the per-model prepared-statement cache: each statement is
+// parsed, bound, and plan-space-prepared once per catalog version, then
+// shared by every allocation the what-if model prices — including
+// concurrent solver workers.
+type stmtCache struct {
+	mu      sync.RWMutex
+	entries map[stmtKey]*stmtEntry
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{entries: make(map[stmtKey]*stmtEntry)}
+}
+
+// prepared returns the cached PreparedQuery for the statement, preparing
+// it on first use or when the database catalog has changed since. Parse
+// and bind errors are cached too: a statement that cannot be prepared
+// fails every allocation identically.
+func (c *stmtCache) prepared(db *engine.Database, stmt string) (*optimizer.PreparedQuery, error) {
+	norm := NormalizeSQL(stmt)
+	if !strings.HasPrefix(strings.ToUpper(norm), "SELECT") {
+		return nil, fmt.Errorf("only SELECT statements can be cost-estimated, got %q", truncateSQL(norm))
+	}
+	key := stmtKey{db: db, sql: norm}
+	ver := db.Catalog.Version()
+	c.mu.RLock()
+	e := c.entries[key]
+	c.mu.RUnlock()
+	if e != nil && e.version == ver {
+		mPreparedHit.Inc()
+		return e.pq, e.err
+	}
+	mPreparedMiss.Inc()
+	entry := &stmtEntry{version: ver}
+	if sel, err := sql.ParseSelect(norm); err != nil {
+		entry.err = err
+	} else if q, err := plan.Bind(sel, db.Catalog); err != nil {
+		entry.err = err
+	} else {
+		entry.pq = optimizer.Prepare(q)
+	}
+	c.mu.Lock()
+	if cur := c.entries[key]; cur != nil && cur.version == ver {
+		// Lost a prepare race; keep the winner so all callers share one
+		// plan-space memo.
+		entry = cur
+	} else {
+		c.entries[key] = entry
+	}
+	c.mu.Unlock()
+	return entry.pq, entry.err
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"dbvirt/internal/calibration"
+	"dbvirt/internal/engine"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/vm"
+	"dbvirt/internal/workload"
+)
+
+func TestNormalizeSQL(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT 1", "SELECT 1"},
+		{"  SELECT\t*\nFROM   t ;  ", "SELECT * FROM t"},
+		{"SELECT c FROM t;", "SELECT c FROM t"},
+		{"SELECT 'a  b' FROM t", "SELECT 'a  b' FROM t"},
+		{"SELECT  'it''s   fine'  FROM\nt", "SELECT 'it''s   fine' FROM t"},
+		{"SELECT c\r\nFROM t\r\nWHERE c LIKE '%  x%'", "SELECT c FROM t WHERE c LIKE '%  x%'"},
+	}
+	for _, c := range cases {
+		if got := NormalizeSQL(c.in); got != c.want {
+			t.Errorf("NormalizeSQL(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// cacheDB builds one small workload database and keeps a session open on
+// it so tests can run ANALYZE and DML against it.
+func cacheDB(t *testing.T) (*engine.Database, *engine.Session) {
+	t.Helper()
+	cfg := vm.DefaultMachineConfig()
+	cfg.MemBytes = 16 << 20
+	m := vm.MustMachine(cfg)
+	loader, err := m.NewVM("cache-loader", vm.Shares{CPU: 1, Memory: 1, IO: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := engine.NewDatabase()
+	s, err := engine.NewSession(db, loader, engine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.Build(s, workload.SmallScale(), 7); err != nil {
+		t.Fatal(err)
+	}
+	return db, s
+}
+
+// TestPreparedCacheIdentity pins the cache-key fix: statements sharing a
+// long prefix (which the old first-words key conflated) get distinct
+// entries, while whitespace variants of one statement share an entry.
+func TestPreparedCacheIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a workload database")
+	}
+	db, _ := cacheDB(t)
+	c := newStmtCache()
+	const eq = "SELECT o_totalprice FROM orders WHERE o_orderkey = 4242"
+	const lt = "SELECT o_totalprice FROM orders WHERE o_orderkey < 4242"
+
+	missBefore := mPreparedMiss.Value()
+	pqEq, err := c.prepared(db, eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqLt, err := c.prepared(db, lt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pqEq == pqLt {
+		t.Fatal("prefix-sharing statements share one cache entry")
+	}
+	if got := mPreparedMiss.Value() - missBefore; got != 2 {
+		t.Errorf("want 2 cache misses, got %d", got)
+	}
+
+	p := optimizer.DefaultParams()
+	plEq, err := pqEq.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plLt, err := pqLt.Optimize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plEq.TotalCost() == plLt.TotalCost() {
+		t.Errorf("point and range lookup cost identically (%v); cache entries conflated?", plEq.TotalCost())
+	}
+
+	hitBefore := mPreparedHit.Value()
+	pqWS, err := c.prepared(db, "SELECT  o_totalprice\n\tFROM orders  WHERE o_orderkey = 4242 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pqWS != pqEq {
+		t.Error("whitespace variant missed the cache")
+	}
+	if got := mPreparedHit.Value() - hitBefore; got != 1 {
+		t.Errorf("want 1 cache hit, got %d", got)
+	}
+}
+
+// TestPreparedCacheInvalidation: refreshed statistics (ANALYZE) and DML
+// bump the catalog version, so the cache re-prepares instead of serving
+// plans built from stale statistics.
+func TestPreparedCacheInvalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a workload database")
+	}
+	db, s := cacheDB(t)
+	c := newStmtCache()
+	const q = "SELECT count(*) FROM orders"
+
+	pq1, err := c.prepared(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := db.Catalog.Version()
+	if _, err := s.Exec("ANALYZE"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog.Version() == v1 {
+		t.Fatal("ANALYZE did not bump the catalog version")
+	}
+	pq2, err := c.prepared(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq2 == pq1 {
+		t.Error("cache served a pre-ANALYZE prepared query")
+	}
+	pq3, err := c.prepared(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq3 != pq2 {
+		t.Error("repeat lookup at an unchanged version missed the cache")
+	}
+
+	v2 := db.Catalog.Version()
+	if _, err := s.Exec("INSERT INTO orders VALUES (999999, 1, 'O', 1.0, DATE '1998-01-01', 'LOW', 'late insert')"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog.Version() == v2 {
+		t.Error("DML did not bump the catalog version")
+	}
+}
+
+// TestWhatIfModelPreparedEquivalence: the memoized model and the cold
+// (NoPrepare) model must return bit-identical costs for every workload
+// at every allocation of a plan-flipping parameter grid.
+func TestWhatIfModelPreparedEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a workload database")
+	}
+	db, _ := cacheDB(t)
+	axes := []float64{0.25, 1.0}
+	points := make([]optimizer.Params, 0, 8)
+	for _, cpu := range axes {
+		for _, mem := range axes {
+			for _, io := range axes {
+				p := optimizer.DefaultParams()
+				p.RandomPageCost = 1 + 3/io
+				p.CPUTupleCost = 0.01 * io / cpu
+				p.CPUOperatorCost = 0.0025 * io / cpu
+				p.EffectiveCacheSizePages = int64(8192 * mem)
+				p.WorkMemBytes = int64(float64(8<<20) * mem)
+				p.TimePerSeqPage = 1e-4 / io
+				p.Overlap = 0.3
+				points = append(points, p)
+			}
+		}
+	}
+	g, err := calibration.NewGrid(axes, axes, axes, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &WorkloadSpec{
+		Name:       "w",
+		Statements: append(workload.Repeat("a", workload.Query("Q4"), 2).Statements, workload.Query("QPOINT")),
+		DB:         db,
+	}
+	memo := &WhatIfModel{Grid: g}
+	cold := &WhatIfModel{Grid: g, NoPrepare: true}
+	ctx := context.Background()
+	// Off-lattice allocations exercise interpolation too.
+	allocs := append(g.Allocations(), vm.Shares{CPU: 0.6, Memory: 0.4, IO: 0.8})
+	for _, sh := range allocs {
+		want, err := cold.Cost(ctx, w, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := memo.Cost(ctx, w, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("alloc %v: memoized cost %v, cold cost %v", sh, got, want)
+		}
+	}
+	// Second sweep: everything is now served from the caches; results
+	// must not drift.
+	for _, sh := range allocs {
+		want, err := cold.Cost(ctx, w, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := memo.Cost(ctx, w, sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("alloc %v (warm): memoized cost %v, cold cost %v", sh, got, want)
+		}
+	}
+}

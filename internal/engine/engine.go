@@ -117,12 +117,18 @@ func (s *Session) Exec(src string) (int64, error) {
 		return 0, err
 
 	case *sql.InsertStmt:
+		// DML bumps the catalog version conservatively: estimates only
+		// change after ANALYZE, but cached plans should not outlive the
+		// data they were costed against.
+		defer s.DB.Catalog.Invalidate()
 		return s.execInsert(x)
 
 	case *sql.DeleteStmt:
+		defer s.DB.Catalog.Invalidate()
 		return s.execDelete(x)
 
 	case *sql.UpdateStmt:
+		defer s.DB.Catalog.Invalidate()
 		return s.execUpdate(x)
 
 	case *sql.AnalyzeStmt:
@@ -134,6 +140,7 @@ func (s *Session) Exec(src string) (int64, error) {
 				return 0, err
 			}
 		}
+		s.DB.Catalog.Invalidate()
 		return 0, nil
 
 	case *sql.SelectStmt, *sql.ExplainStmt:
@@ -243,13 +250,19 @@ func coerce(v types.Value, k types.Kind) types.Value {
 // Checkpoint must be called before another session reads the database.
 func (s *Session) Checkpoint() error { return s.Pool.FlushAll() }
 
-// Analyze recomputes statistics for one table.
+// Analyze recomputes statistics for one table. The refreshed statistics
+// change what the optimizer would estimate, so the catalog version is
+// bumped to invalidate any cached plans.
 func (s *Session) Analyze(table string) error {
 	t, err := s.DB.Catalog.Table(table)
 	if err != nil {
 		return err
 	}
-	return catalog.Analyze(s.Pool, t)
+	if err := catalog.Analyze(s.Pool, t); err != nil {
+		return err
+	}
+	s.DB.Catalog.Invalidate()
+	return nil
 }
 
 // Plan binds and optimizes a SELECT under explicit parameters without

@@ -18,6 +18,9 @@ type Plan struct {
 	Root   Node
 	Query  *plan.Query
 	Params Params
+	// prep links back to the PreparedQuery that produced this plan, when
+	// any, so Recost can reuse its memoized plan space.
+	prep *PreparedQuery
 }
 
 // TotalCost returns the plan cost in seq-page units (additive, as used
@@ -81,25 +84,32 @@ func Optimize(q *plan.Query, p Params) (*Plan, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	return optimizeInto(&planCtx{q: q}, p, nil)
+}
+
+// optimizeInto runs the full enumeration under a plan context (with or
+// without shared memos) and an optional choice recorder.
+func optimizeInto(pc *planCtx, p Params, rec *recorder) (*Plan, error) {
+	q := pc.q
 	var root Node
 	var err error
 	if q.OuterTree != nil {
-		root, err = optimizeFixed(q, p)
+		root, err = optimizeFixed(pc, p, rec)
 	} else {
-		root, err = optimizeJoins(q, p)
+		root, err = optimizeJoins(pc, p, rec)
 	}
 	if err != nil {
 		return nil, err
 	}
 
 	if q.Grouped {
-		root = newHashAgg(root, q.GroupBy, q.Aggs, q, p)
+		root = newHashAgg(root, q.GroupBy, q.Aggs, pc, p)
 		if q.Having != nil {
-			root = newFilter(root, []plan.Conjunct{{E: q.Having, Rels: plan.RelsOf(q.Having)}}, q, p)
+			root = newFilter(root, []plan.Conjunct{{E: q.Having, Rels: plan.RelsOf(q.Having)}}, pc, p)
 		}
 	}
 
-	root = newProject(root, q.Select, q, p)
+	root = newProject(root, q.Select, pc, p)
 
 	if q.Distinct {
 		visible := 0

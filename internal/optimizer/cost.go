@@ -19,20 +19,10 @@ type sized interface{ bytes() float64 }
 
 func (c *common) bytes() float64 { return c.rowBytes }
 
-// predOps estimates the per-row operator-evaluation cost (in
-// cpu_operator_cost units) of a conjunct list. Unlike a flat node count it
-// consults column statistics for LIKE predicates, whose true cost grows
-// with the average string width — the effect that makes TPC-H Q13
-// CPU-bound.
-func predOps(conjs []plan.Conjunct, q *plan.Query) float64 {
-	var total float64
-	for _, c := range conjs {
-		total += exprOps(c.E, q)
-	}
-	return total
-}
-
-// exprOps estimates the operator units of one expression.
+// exprOps estimates the operator units (cpu_operator_cost multiples) of
+// one expression. Unlike a flat node count it consults column statistics
+// for LIKE predicates, whose true cost grows with the average string
+// width — the effect that makes TPC-H Q13 CPU-bound.
 func exprOps(e plan.Expr, q *plan.Query) float64 {
 	switch x := e.(type) {
 	case *plan.Like:
@@ -63,15 +53,6 @@ func exprOps(e plan.Expr, q *plan.Query) float64 {
 	default:
 		return 0
 	}
-}
-
-// outputOps estimates operator units of the projection expressions.
-func outputOps(cols []plan.OutputCol, q *plan.Query) float64 {
-	var total float64
-	for _, c := range cols {
-		total += exprOps(c.E, q)
-	}
-	return total
 }
 
 // mergeLayouts builds a join layout: left's layout plus right's shifted by
@@ -128,17 +109,17 @@ func seqMissFrac(pages float64, ecs int64) float64 {
 }
 
 // newSeqScan builds a sequential scan with pushed-down filters.
-func newSeqScan(rel *plan.Rel, filter []plan.Conjunct, q *plan.Query, p Params) *SeqScan {
+func newSeqScan(rel *plan.Rel, filter []plan.Conjunct, pc *planCtx, p Params) *SeqScan {
 	st := statsFor(rel)
 	rows := float64(st.NumRows)
-	sel := conjunctsSelectivity(filter, q)
+	sel := pc.conjSel(filter)
 	pages := float64(st.NumPages)
 	io := pages * seqMissFrac(pages, p.EffectiveCacheSizePages) * p.SeqPageCost
-	cpu := rows*p.CPUTupleCost + rows*predOps(filter, q)*p.CPUOperatorCost
+	cpu := rows*p.CPUTupleCost + rows*pc.predOps(filter)*p.CPUOperatorCost
 	s := &SeqScan{Rel: rel, Filter: filter}
 	s.rows = math.Max(rows*sel, 0)
 	s.cost = Cost{Startup: 0, Total: io + cpu, CPU: cpu}
-	s.layout = plan.SingleRel(rel.Idx)
+	s.layout = pc.relLayout(rel.Idx)
 	s.width = len(rel.Table.Schema.Cols)
 	s.rowBytes = rowBytesFromStats(st, s.width)
 	return s
@@ -157,7 +138,7 @@ const correlationThreshold = 0.8
 
 // newIndexScan builds an index scan over [lo, hi] with residual filters.
 // rangeSel is the selectivity of the key range itself.
-func newIndexScan(rel *plan.Rel, ix *catalog.Index, lo, hi *Bound, rangeSel float64, residual []plan.Conjunct, q *plan.Query, p Params) *IndexScan {
+func newIndexScan(rel *plan.Rel, ix *catalog.Index, lo, hi *Bound, rangeSel float64, residual []plan.Conjunct, pc *planCtx, p Params) *IndexScan {
 	st := statsFor(rel)
 	rows := float64(st.NumRows)
 	matched := rows * rangeSel
@@ -188,15 +169,16 @@ func newIndexScan(rel *plan.Rel, ix *catalog.Index, lo, hi *Bound, rangeSel floa
 	}
 
 	cpu := matched*(p.CPUIndexTupleCost+p.CPUTupleCost) +
-		matched*predOps(residual, q)*p.CPUOperatorCost
+		matched*pc.predOps(residual)*p.CPUOperatorCost
 
 	s := &IndexScan{
 		Rel: rel, Index: ix, Lo: lo, Hi: hi, Filter: residual,
 		Correlated: math.Abs(corr) >= correlationThreshold,
+		rangeSel:   rangeSel,
 	}
-	s.rows = math.Max(matched*conjunctsSelectivity(residual, q), 0)
+	s.rows = math.Max(matched*pc.conjSel(residual), 0)
 	s.cost = Cost{Startup: descent, Total: descent + leafIO + heapIO + cpu, CPU: cpu}
-	s.layout = plan.SingleRel(rel.Idx)
+	s.layout = pc.relLayout(rel.Idx)
 	s.width = len(rel.Table.Schema.Cols)
 	s.rowBytes = rowBytesFromStats(st, s.width)
 	return s
@@ -222,10 +204,10 @@ func newSubqueryScan(rel *plan.Rel, inner *Plan, p Params) *SubqueryScan {
 }
 
 // newFilter wraps input with extra predicates.
-func newFilter(input Node, conds []plan.Conjunct, q *plan.Query, p Params) *FilterNode {
+func newFilter(input Node, conds []plan.Conjunct, pc *planCtx, p Params) *FilterNode {
 	f := &FilterNode{Input: input, Conds: conds}
-	f.rows = input.Rows() * conjunctsSelectivity(conds, q)
-	extra := input.Rows() * predOps(conds, q) * p.CPUOperatorCost
+	f.rows = input.Rows() * pc.conjSel(conds)
+	extra := input.Rows() * pc.predOps(conds) * p.CPUOperatorCost
 	ic := input.Cost()
 	f.cost = Cost{Startup: ic.Startup, Total: ic.Total + extra, CPU: ic.CPU + extra}
 	f.layout = input.Layout()
@@ -257,13 +239,13 @@ func joinRows(jt sql.JoinType, outerRows, innerRows, sel float64) float64 {
 
 // newNLJoin builds a nested-loops join; the inner side is materialized in
 // memory once and rescanned per outer row.
-func newNLJoin(jt sql.JoinType, outer, inner Node, on []plan.Conjunct, rows float64, q *plan.Query, p Params) *NLJoin {
+func newNLJoin(jt sql.JoinType, outer, inner Node, on []plan.Conjunct, rows float64, pc *planCtx, p Params) *NLJoin {
 	j := &NLJoin{Type: jt, Outer: outer, Inner: inner, On: on}
 	if rows < 0 {
-		rows = joinRows(jt, outer.Rows(), inner.Rows(), conjunctsSelectivity(on, q))
+		rows = joinRows(jt, outer.Rows(), inner.Rows(), pc.conjSel(on))
 	}
 	pairs := outer.Rows() * inner.Rows()
-	ops := predOps(on, q)
+	ops := pc.predOps(on)
 	if ops < 1 {
 		ops = 1
 	}
@@ -277,7 +259,7 @@ func newNLJoin(jt sql.JoinType, outer, inner Node, on []plan.Conjunct, rows floa
 		Total:   oc.Total + ic.Total + cpu,
 		CPU:     oc.CPU + ic.CPU + cpu,
 	}
-	j.layout = mergeLayouts(outer, inner)
+	j.layout = pc.joinLayout(outer, inner)
 	j.width = outer.Width() + inner.Width()
 	j.rowBytes = nodeBytes(outer) + nodeBytes(inner)
 	return j
@@ -287,7 +269,7 @@ func newNLJoin(jt sql.JoinType, outer, inner Node, on []plan.Conjunct, rows floa
 // right (inner) side and probed from the left; with buildOuter=true the
 // roles are reversed (PostgreSQL's Hash Right Join), which is profitable
 // for LEFT joins whose outer side is much smaller.
-func newHashJoin(jt sql.JoinType, left, right Node, leftKeys, rightKeys []plan.Expr, residual []plan.Conjunct, rows float64, buildOuter bool, q *plan.Query, p Params) *HashJoin {
+func newHashJoin(jt sql.JoinType, left, right Node, leftKeys, rightKeys []plan.Expr, residual []plan.Conjunct, rows float64, buildOuter bool, pc *planCtx, p Params) *HashJoin {
 	j := &HashJoin{
 		Type: jt, Left: left, Right: right,
 		LeftKeys: leftKeys, RightKeys: rightKeys, Residual: residual,
@@ -310,21 +292,21 @@ func newHashJoin(jt sql.JoinType, left, right Node, leftKeys, rightKeys []plan.E
 	cpu := buildRows*(nk*p.CPUOperatorCost+p.CPUTupleCost) +
 		probeRows*nk*p.CPUOperatorCost +
 		rows*p.CPUTupleCost +
-		rows*predOps(residual, q)*p.CPUOperatorCost
+		rows*pc.predOps(residual)*p.CPUOperatorCost
 	var spill float64
 	if batches > 1 {
 		spillBytes := buildBytes + probeRows*nodeBytes(probeSide)
 		spill = 2 * spillBytes / storage.PageSize * p.SeqPageCost
 	}
-	bc, pc := buildSide.Cost(), probeSide.Cost()
+	bc, prc := buildSide.Cost(), probeSide.Cost()
 	startup := bc.Total + buildRows*(nk*p.CPUOperatorCost+p.CPUTupleCost)
 	j.rows = rows
 	j.cost = Cost{
-		Startup: startup + pc.Startup,
-		Total:   bc.Total + pc.Total + cpu + spill,
-		CPU:     bc.CPU + pc.CPU + cpu,
+		Startup: startup + prc.Startup,
+		Total:   bc.Total + prc.Total + cpu + spill,
+		CPU:     bc.CPU + prc.CPU + cpu,
 	}
-	j.layout = mergeLayouts(left, right)
+	j.layout = pc.joinLayout(left, right)
 	j.width = left.Width() + right.Width()
 	j.rowBytes = nodeBytes(left) + nodeBytes(right)
 	return j
@@ -332,7 +314,7 @@ func newHashJoin(jt sql.JoinType, left, right Node, leftKeys, rightKeys []plan.E
 
 // newIndexNLJoin builds an index nested-loops join: per outer row, probe
 // the inner relation's index with a key from the outer row.
-func newIndexNLJoin(jt sql.JoinType, outer Node, innerRel *plan.Rel, ix *catalog.Index, outerKey plan.Expr, innerFilter, residual []plan.Conjunct, rows float64, q *plan.Query, p Params) *IndexNLJoin {
+func newIndexNLJoin(jt sql.JoinType, outer Node, innerRel *plan.Rel, ix *catalog.Index, outerKey plan.Expr, innerFilter, residual []plan.Conjunct, rows float64, pc *planCtx, p Params) *IndexNLJoin {
 	j := &IndexNLJoin{
 		Type: jt, Outer: outer, InnerRel: innerRel, Index: ix,
 		OuterKey: outerKey, InnerFilter: innerFilter, Residual: residual,
@@ -364,8 +346,8 @@ func newIndexNLJoin(jt sql.JoinType, outer Node, innerRel *plan.Rel, ix *catalog
 
 	cpu := totalMatched*(p.CPUIndexTupleCost+p.CPUTupleCost) +
 		probes*p.CPUOperatorCost +
-		totalMatched*predOps(innerFilter, q)*p.CPUOperatorCost +
-		rows*predOps(residual, q)*p.CPUOperatorCost +
+		totalMatched*pc.predOps(innerFilter)*p.CPUOperatorCost +
+		rows*pc.predOps(residual)*p.CPUOperatorCost +
 		rows*p.CPUTupleCost
 
 	oc := outer.Cost()
@@ -375,12 +357,16 @@ func newIndexNLJoin(jt sql.JoinType, outer Node, innerRel *plan.Rel, ix *catalog
 		Total:   oc.Total + idxIO + heapIO + cpu,
 		CPU:     oc.CPU + cpu,
 	}
-	lay := plan.NewLayout()
-	for rel, off := range outer.Layout().Base {
-		lay.Base[rel] = off
+	if lay, ok := pc.takeLayout(); ok {
+		j.layout = lay
+	} else {
+		lay := plan.NewLayout()
+		for rel, off := range outer.Layout().Base {
+			lay.Base[rel] = off
+		}
+		lay.Base[innerRel.Idx] = outer.Width()
+		j.layout = lay
 	}
-	lay.Base[innerRel.Idx] = outer.Width()
-	j.layout = lay
 	j.width = outer.Width() + len(innerRel.Table.Schema.Cols)
 	j.rowBytes = nodeBytes(outer) + rowBytesFromStats(st, len(innerRel.Table.Schema.Cols))
 	return j
@@ -388,7 +374,7 @@ func newIndexNLJoin(jt sql.JoinType, outer Node, innerRel *plan.Rel, ix *catalog
 
 // newMergeJoin builds a merge join over inputs already sorted by their
 // key columns.
-func newMergeJoin(jt sql.JoinType, left, right Node, leftCols, rightCols []int, residual []plan.Conjunct, rows float64, q *plan.Query, p Params) *MergeJoin {
+func newMergeJoin(jt sql.JoinType, left, right Node, leftCols, rightCols []int, residual []plan.Conjunct, rows float64, pc *planCtx, p Params) *MergeJoin {
 	j := &MergeJoin{
 		Type: jt, Left: left, Right: right,
 		LeftCols: leftCols, RightCols: rightCols, Residual: residual,
@@ -396,7 +382,7 @@ func newMergeJoin(jt sql.JoinType, left, right Node, leftCols, rightCols []int, 
 	nk := float64(len(leftCols))
 	cpu := (left.Rows()+right.Rows())*nk*p.CPUOperatorCost + // merge comparisons
 		rows*p.CPUTupleCost +
-		rows*predOps(residual, q)*p.CPUOperatorCost
+		rows*pc.predOps(residual)*p.CPUOperatorCost
 	lc, rc := left.Cost(), right.Cost()
 	j.rows = rows
 	j.cost = Cost{
@@ -404,7 +390,7 @@ func newMergeJoin(jt sql.JoinType, left, right Node, leftCols, rightCols []int, 
 		Total:   lc.Total + rc.Total + cpu,
 		CPU:     lc.CPU + rc.CPU + cpu,
 	}
-	j.layout = mergeLayouts(left, right)
+	j.layout = pc.joinLayout(left, right)
 	j.width = left.Width() + right.Width()
 	j.rowBytes = nodeBytes(left) + nodeBytes(right)
 	return j
@@ -437,9 +423,9 @@ func newSort(input Node, keys []SortKey, p Params) *Sort {
 }
 
 // newHashAgg builds a hash aggregation.
-func newHashAgg(input Node, groupBy []plan.Expr, aggs []plan.AggSpec, q *plan.Query, p Params) *HashAgg {
+func newHashAgg(input Node, groupBy []plan.Expr, aggs []plan.AggSpec, pc *planCtx, p Params) *HashAgg {
 	a := &HashAgg{Input: input, GroupBy: groupBy, Aggs: aggs}
-	groups := groupCountEstimate(groupBy, input.Rows(), q)
+	groups := groupCountEstimate(groupBy, input.Rows(), pc.q)
 	transitions := input.Rows() * float64(len(groupBy)+len(aggs)) * p.CPUOperatorCost
 	emit := groups * p.CPUTupleCost
 	ic := input.Cost()
@@ -450,20 +436,28 @@ func newHashAgg(input Node, groupBy []plan.Expr, aggs []plan.AggSpec, q *plan.Qu
 		Total:   startup + emit,
 		CPU:     ic.CPU + transitions + emit,
 	}
-	a.layout = plan.PostAgg(len(groupBy))
+	if lay, ok := pc.takeLayout(); ok {
+		a.layout = lay
+	} else {
+		a.layout = plan.PostAgg(len(groupBy))
+	}
 	a.width = len(groupBy) + len(aggs)
 	a.rowBytes = float64(a.width * fallbackBytesPerValue)
 	return a
 }
 
 // newProject builds the output projection.
-func newProject(input Node, cols []plan.OutputCol, q *plan.Query, p Params) *Project {
+func newProject(input Node, cols []plan.OutputCol, pc *planCtx, p Params) *Project {
 	pr := &Project{Input: input, Cols: cols}
-	extra := input.Rows() * outputOps(cols, q) * p.CPUOperatorCost
+	extra := input.Rows() * pc.outputOps(cols) * p.CPUOperatorCost
 	ic := input.Cost()
 	pr.rows = input.Rows()
 	pr.cost = Cost{Startup: ic.Startup, Total: ic.Total + extra, CPU: ic.CPU + extra}
-	pr.layout = plan.NewLayout() // positional output; no relation layout
+	if lay, ok := pc.takeLayout(); ok {
+		pr.layout = lay // positional output; no relation layout
+	} else {
+		pr.layout = plan.NewLayout()
+	}
 	pr.width = len(cols)
 	pr.rowBytes = float64(len(cols) * fallbackBytesPerValue)
 	return pr

@@ -9,8 +9,21 @@ import (
 
 // Explain renders the plan tree in a PostgreSQL-like format, with
 // estimated cost (in seq-page units) and row counts per node.
+// explainBytesPerNode sizes the output builder: a line per node plus its
+// detail brackets rarely exceeds this.
+const explainBytesPerNode = 96
+
+func countNodes(n Node) int {
+	c := 1
+	for _, ch := range n.children() {
+		c += countNodes(ch)
+	}
+	return c
+}
+
 func (p *Plan) Explain() string {
 	var sb strings.Builder
+	sb.Grow(explainBytesPerNode*countNodes(p.Root) + 64)
 	explainNode(&sb, p.Root, 0)
 	if p.Params.TimePerSeqPage > 0 {
 		fmt.Fprintf(&sb, "estimated time: %.4fs (time/seq-page %.3gs)\n",
@@ -27,6 +40,7 @@ func explainNode(sb *strings.Builder, n Node, depth int) {
 // annotate callback — used by EXPLAIN ANALYZE to attach actual row counts.
 func (p *Plan) ExplainAnnotated(annotate func(Node) string) string {
 	var sb strings.Builder
+	sb.Grow(explainBytesPerNode * countNodes(p.Root))
 	explainNodeAnnotated(&sb, p.Root, 0, annotate)
 	return sb.String()
 }
@@ -81,7 +95,5 @@ func rangeString(lo, hi *Bound) string {
 		return ""
 	}
 }
-
-func itoa(n int) string { return fmt.Sprintf("%d", n) }
 
 func join(parts []string, sep string) string { return strings.Join(parts, sep) }

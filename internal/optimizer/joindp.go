@@ -3,6 +3,7 @@ package optimizer
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"dbvirt/internal/plan"
 	"dbvirt/internal/sql"
@@ -14,20 +15,57 @@ const dpRelLimit = 13
 
 // joinOptimizer carries state for one enumeration.
 type joinOptimizer struct {
-	q *plan.Query
-	p Params
+	q   *plan.Query
+	p   Params
+	pc  *planCtx
+	rec *recorder
 
 	singleConjs [][]plan.Conjunct // per relation
+	singleSel   []float64         // per relation: product selectivity of its conjuncts
 	multiConjs  []plan.Conjunct   // spanning >= 2 relations
 	zeroConjs   []plan.Conjunct   // constant predicates, applied at the top
 
-	rowsMemo map[plan.RelSet]float64
-	leaves   []Node // best access path per relation, shared by dp and greedy
+	// Cardinality memo. When the plan context carries a shareable memo the
+	// shared one is used; otherwise a call-local dense slice (within
+	// dpRelLimit) or map serves, backed by pooled scratch.
+	sharedRows bool
+	rowsDense  []float64 // indexed by RelSet mask; NaN = unset
+	rowsMap    map[plan.RelSet]float64
+
+	leaves []Node // best access path per relation, shared by dp and greedy
+
+	// Pooled scratch buffers, reused across enumerations.
+	rowsBuf []float64
+	bestBuf []Node
+}
+
+// joPool recycles joinOptimizer values so repeated enumeration — the inner
+// loop of grid calibration and design search — does not reallocate its
+// dense DP and cardinality tables every call. Only the scratch buffers
+// survive between uses; everything plan-visible is freshly allocated.
+var joPool = sync.Pool{New: func() any { return new(joinOptimizer) }}
+
+func getJoinOptimizer(pc *planCtx, p Params, rec *recorder) *joinOptimizer {
+	jo := joPool.Get().(*joinOptimizer)
+	rowsBuf, bestBuf := jo.rowsBuf, jo.bestBuf
+	*jo = joinOptimizer{q: pc.q, p: p, pc: pc, rec: rec, rowsBuf: rowsBuf, bestBuf: bestBuf}
+	return jo
+}
+
+func (jo *joinOptimizer) release() {
+	// Drop references to plan nodes held in the pooled DP table so the
+	// pool does not pin whole plan trees between enumerations.
+	for i := range jo.bestBuf {
+		jo.bestBuf[i] = nil
+	}
+	joPool.Put(jo)
 }
 
 // optimizeJoins produces the cheapest join tree for an inner-join query.
-func optimizeJoins(q *plan.Query, p Params) (Node, error) {
-	jo := &joinOptimizer{q: q, p: p, rowsMemo: make(map[plan.RelSet]float64)}
+func optimizeJoins(pc *planCtx, p Params, rec *recorder) (Node, error) {
+	q := pc.q
+	jo := getJoinOptimizer(pc, p, rec)
+	defer jo.release()
 	jo.singleConjs = make([][]plan.Conjunct, len(q.Rels))
 	for _, c := range q.Where {
 		switch c.Rels.Count() {
@@ -43,10 +81,15 @@ func optimizeJoins(q *plan.Query, p Params) (Node, error) {
 			jo.multiConjs = append(jo.multiConjs, c)
 		}
 	}
+	jo.singleSel = make([]float64, len(q.Rels))
+	for i := range jo.singleSel {
+		jo.singleSel[i] = pc.conjSel(jo.singleConjs[i])
+	}
+	jo.initRowsMemo(len(q.Rels))
 
 	jo.leaves = make([]Node, len(q.Rels))
 	for i, rel := range q.Rels {
-		node, err := bestAccessPath(rel, jo.singleConjs[i], q, p)
+		node, err := bestAccessPath(rel, jo.singleConjs[i], pc, p, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -64,16 +107,60 @@ func optimizeJoins(q *plan.Query, p Params) (Node, error) {
 		return nil, err
 	}
 	if len(jo.zeroConjs) > 0 {
-		root = newFilter(root, jo.zeroConjs, q, p)
+		root = newFilter(root, jo.zeroConjs, pc, p)
 	}
 	return root, nil
 }
 
+// initRowsMemo selects the cardinality memo for this enumeration: the
+// shared cross-call memo when available, else pooled dense scratch within
+// the DP limit, else a map.
+func (jo *joinOptimizer) initRowsMemo(n int) {
+	if jo.pc.ps != nil && jo.pc.ps.shareRows {
+		jo.sharedRows = true
+		return
+	}
+	if n <= dpRelLimit {
+		size := 1 << uint(n)
+		if cap(jo.rowsBuf) < size {
+			jo.rowsBuf = make([]float64, size)
+		}
+		jo.rowsDense = jo.rowsBuf[:size]
+		for i := range jo.rowsDense {
+			jo.rowsDense[i] = math.NaN()
+		}
+		return
+	}
+	jo.rowsMap = make(map[plan.RelSet]float64)
+}
+
 // rows returns the plan-independent cardinality estimate for a subset.
 func (jo *joinOptimizer) rows(s plan.RelSet) float64 {
-	if r, ok := jo.rowsMemo[s]; ok {
-		return r
+	if jo.sharedRows {
+		if v, ok := jo.pc.ps.rowsGet(s); ok {
+			return v
+		}
+		v := jo.computeRows(s)
+		jo.pc.ps.rowsPut(s, v)
+		return v
 	}
+	if jo.rowsDense != nil {
+		if v := jo.rowsDense[s]; !math.IsNaN(v) {
+			return v
+		}
+		v := jo.computeRows(s)
+		jo.rowsDense[s] = v
+		return v
+	}
+	if v, ok := jo.rowsMap[s]; ok {
+		return v
+	}
+	v := jo.computeRows(s)
+	jo.rowsMap[s] = v
+	return v
+}
+
+func (jo *joinOptimizer) computeRows(s plan.RelSet) float64 {
 	rows := 1.0
 	for i := range jo.q.Rels {
 		if !s.Has(i) {
@@ -86,17 +173,16 @@ func (jo *joinOptimizer) rows(s plan.RelSet) float64 {
 			continue
 		}
 		base := float64(statsFor(jo.q.Rels[i]).NumRows)
-		rows *= base * conjunctsSelectivity(jo.singleConjs[i], jo.q)
+		rows *= base * jo.singleSel[i]
 	}
 	for _, c := range jo.multiConjs {
 		if c.Rels.SubsetOf(s) {
-			rows *= selectivity(c.E, jo.q)
+			rows *= jo.pc.selectivity(c.E)
 		}
 	}
 	if rows < 0 {
 		rows = 0
 	}
-	jo.rowsMemo[s] = rows
 	return rows
 }
 
@@ -158,7 +244,8 @@ func (jo *joinOptimizer) bestJoin(outer Node, a plan.RelSet, inner Node, b plan.
 	rows := jo.rows(a | b)
 	keys, residual := splitEquiKeys(conjs, a, b)
 
-	var best Node = newNLJoin(sql.InnerJoin, outer, inner, conjs, rows, jo.q, jo.p)
+	ch := startChoice(jo.rec)
+	ch.consider(newNLJoin(sql.InnerJoin, outer, inner, conjs, rows, jo.pc, jo.p))
 
 	if len(keys) > 0 {
 		var lks, rks []plan.Expr
@@ -166,20 +253,13 @@ func (jo *joinOptimizer) bestJoin(outer Node, a plan.RelSet, inner Node, b plan.
 			lks = append(lks, k.leftE)
 			rks = append(rks, k.rightE)
 		}
-		hj := newHashJoin(sql.InnerJoin, outer, inner, lks, rks, residual, rows, false, jo.q, jo.p)
-		if hj.Cost().Total < best.Cost().Total {
-			best = hj
-		}
-	}
+		ch.consider(newHashJoin(sql.InnerJoin, outer, inner, lks, rks, residual, rows, false, jo.pc, jo.p))
 
-	// Merge join: all keys must be bare columns. Children that are index
-	// scans over a single join-key column already stream in key order;
-	// anything else gets an explicit sort.
-	if len(keys) > 0 {
+		// Merge join: all keys must be bare columns. Children that are
+		// index scans over a single join-key column already stream in key
+		// order; anything else gets an explicit sort.
 		if mj := jo.tryMergeJoin(outer, inner, keys, residual, rows); mj != nil {
-			if mj.Cost().Total < best.Cost().Total {
-				best = mj
-			}
+			ch.consider(mj)
 		}
 	}
 
@@ -208,14 +288,11 @@ func (jo *joinOptimizer) bestJoin(outer Node, a plan.RelSet, inner Node, b plan.
 					resid = append(resid, conjs[other.conjIdx])
 				}
 			}
-			inj := newIndexNLJoin(sql.InnerJoin, outer, innerRel, ix, k.leftE,
-				jo.singleConjs[innerRel.Idx], resid, rows, jo.q, jo.p)
-			if inj.Cost().Total < best.Cost().Total {
-				best = inj
-			}
+			ch.consider(newIndexNLJoin(sql.InnerJoin, outer, innerRel, ix, k.leftE,
+				jo.singleConjs[innerRel.Idx], resid, rows, jo.pc, jo.p))
 		}
 	}
-	return best
+	return ch.done()
 }
 
 // tryMergeJoin builds a merge-join candidate if every equi key is a bare
@@ -242,7 +319,7 @@ func (jo *joinOptimizer) tryMergeJoin(outer, inner Node, keys []equiKey, residua
 	}
 	left := ensureSorted(outer, leftCols, jo.p)
 	right := ensureSorted(inner, rightCols, jo.p)
-	return newMergeJoin(sql.InnerJoin, left, right, leftCols, rightCols, residual, rows, jo.q, jo.p)
+	return newMergeJoin(sql.InnerJoin, left, right, leftCols, rightCols, residual, rows, jo.pc, jo.p)
 }
 
 // ensureSorted returns the node unchanged when it already streams in the
@@ -261,15 +338,23 @@ func ensureSorted(n Node, cols []int, p Params) Node {
 	return newSort(n, keys, p)
 }
 
-// dp runs System-R style dynamic programming over relation subsets.
+// dp runs System-R style dynamic programming over relation subsets. The
+// table is a dense slice indexed by the subset mask (n <= dpRelLimit by
+// construction), drawn from the pooled scratch buffer.
 func (jo *joinOptimizer) dp() (Node, error) {
 	n := len(jo.q.Rels)
 	full := plan.RelSet(1)<<uint(n) - 1
-	best := make(map[plan.RelSet]Node, 1<<uint(n))
+	tableSize := 1 << uint(n)
+	if cap(jo.bestBuf) < tableSize {
+		jo.bestBuf = make([]Node, tableSize)
+	}
+	best := jo.bestBuf[:tableSize]
+	for i := range best {
+		best[i] = nil
+	}
 
 	for i := 0; i < n; i++ {
-		s := plan.NewRelSet(i)
-		best[s] = jo.leaves[i]
+		best[plan.NewRelSet(i)] = jo.leaves[i]
 	}
 
 	for size := 2; size <= n; size++ {
@@ -277,7 +362,7 @@ func (jo *joinOptimizer) dp() (Node, error) {
 			if s.Count() != size {
 				continue
 			}
-			var cheapest Node
+			ch := startChoice(jo.rec)
 			connected := false
 			// First pass: connected splits only.
 			for _, crossOK := range []bool{false, true} {
@@ -286,28 +371,24 @@ func (jo *joinOptimizer) dp() (Node, error) {
 				}
 				for sub := (s - 1) & s; sub > 0; sub = (sub - 1) & s {
 					rest := s &^ sub
-					lp, lok := best[sub]
-					rp, rok := best[rest]
-					if !lok || !rok {
+					lp, rp := best[sub], best[rest]
+					if lp == nil || rp == nil {
 						continue
 					}
 					if !crossOK && len(jo.newConjuncts(sub, rest)) == 0 {
 						continue
 					}
 					connected = connected || !crossOK
-					cand := jo.bestJoin(lp, sub, rp, rest)
-					if cheapest == nil || cand.Cost().Total < cheapest.Cost().Total {
-						cheapest = cand
-					}
+					ch.consider(jo.bestJoin(lp, sub, rp, rest))
 				}
 			}
-			if cheapest != nil {
+			if cheapest := ch.done(); cheapest != nil {
 				best[s] = cheapest
 			}
 		}
 	}
-	root, ok := best[full]
-	if !ok {
+	root := best[full]
+	if root == nil {
 		return nil, fmt.Errorf("optimizer: no plan found for %d relations", n)
 	}
 	return root, nil
@@ -328,9 +409,8 @@ func (jo *joinOptimizer) greedy() (Node, error) {
 		})
 	}
 	for len(items) > 1 {
-		bi, bj := -1, -1
-		bestCost := math.Inf(1)
-		var bestNode Node
+		ch := startChoice(jo.rec)
+		var pairs [][2]int // candidate index -> (i, j) of the joined pair
 		for _, connectedOnly := range []bool{true, false} {
 			for i := 0; i < len(items); i++ {
 				for j := 0; j < len(items); j++ {
@@ -340,21 +420,19 @@ func (jo *joinOptimizer) greedy() (Node, error) {
 					if connectedOnly && len(jo.newConjuncts(items[i].set, items[j].set)) == 0 {
 						continue
 					}
-					cand := jo.bestJoin(items[i].node, items[i].set, items[j].node, items[j].set)
-					if cand.Cost().Total < bestCost {
-						bestCost = cand.Cost().Total
-						bestNode = cand
-						bi, bj = i, j
-					}
+					ch.consider(jo.bestJoin(items[i].node, items[i].set, items[j].node, items[j].set))
+					pairs = append(pairs, [2]int{i, j})
 				}
 			}
-			if bi >= 0 {
+			if ch.n > 0 {
 				break
 			}
 		}
-		if bi < 0 {
+		bestNode := ch.done()
+		if bestNode == nil {
 			return nil, fmt.Errorf("optimizer: greedy join failed")
 		}
+		bi, bj := pairs[ch.bestIdx][0], pairs[ch.bestIdx][1]
 		merged := entry{node: bestNode, set: items[bi].set | items[bj].set}
 		var next []entry
 		for k, it := range items {
@@ -383,7 +461,7 @@ func (jo *joinOptimizer) buildFixedTree(t *plan.JoinTree, pushed []plan.Conjunct
 				above = append(above, c)
 			}
 		}
-		node, err := bestAccessPath(t.Rel, mine, jo.q, jo.p)
+		node, err := bestAccessPath(t.Rel, mine, jo.pc, jo.p, jo.rec)
 		if err != nil {
 			return nil, err
 		}
@@ -434,7 +512,7 @@ func (jo *joinOptimizer) buildFixedTree(t *plan.JoinTree, pushed []plan.Conjunct
 	}
 
 	keys, residual := splitEquiKeys(stay, leftSet, rightSet)
-	sel := conjunctsSelectivity(stay, jo.q)
+	sel := jo.pc.conjSel(stay)
 	rows := joinRows(t.Type, left.Rows(), right.Rows(), sel)
 
 	var node Node
@@ -446,28 +524,26 @@ func (jo *joinOptimizer) buildFixedTree(t *plan.JoinTree, pushed []plan.Conjunct
 		}
 		// Try both build sides and keep the cheaper (for LEFT joins the
 		// reversed build is PostgreSQL's Hash Right Join).
-		normal := newHashJoin(t.Type, left, right, lks, rks, residual, rows, false, jo.q, jo.p)
-		reversed := newHashJoin(t.Type, left, right, lks, rks, residual, rows, true, jo.q, jo.p)
-		if reversed.Cost().Total < normal.Cost().Total {
-			node = reversed
-		} else {
-			node = normal
-		}
+		ch := startChoice(jo.rec)
+		ch.consider(newHashJoin(t.Type, left, right, lks, rks, residual, rows, false, jo.pc, jo.p))
+		ch.consider(newHashJoin(t.Type, left, right, lks, rks, residual, rows, true, jo.pc, jo.p))
+		node = ch.done()
 	} else {
-		node = newNLJoin(t.Type, left, right, stay, rows, jo.q, jo.p)
+		node = newNLJoin(t.Type, left, right, stay, rows, jo.pc, jo.p)
 	}
 	if len(applyHere) > 0 {
-		node = newFilter(node, applyHere, jo.q, jo.p)
+		node = newFilter(node, applyHere, jo.pc, jo.p)
 	}
 	return node, nil
 }
 
 // optimizeFixed plans a query with outer joins: the tree shape is kept,
 // WHERE predicates are pushed as deep as semantics allow.
-func optimizeFixed(q *plan.Query, p Params) (Node, error) {
-	jo := &joinOptimizer{q: q, p: p, rowsMemo: make(map[plan.RelSet]float64)}
-	jo.singleConjs = make([][]plan.Conjunct, len(q.Rels))
-	root, err := jo.buildFixedTree(q.OuterTree, q.Where)
+func optimizeFixed(pc *planCtx, p Params, rec *recorder) (Node, error) {
+	jo := getJoinOptimizer(pc, p, rec)
+	defer jo.release()
+	jo.singleConjs = make([][]plan.Conjunct, len(pc.q.Rels))
+	root, err := jo.buildFixedTree(pc.q.OuterTree, pc.q.Where)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,8 @@ package optimizer
 import (
 	"fmt"
 
+	"strconv"
+
 	"dbvirt/internal/catalog"
 	"dbvirt/internal/plan"
 	"dbvirt/internal/sql"
@@ -75,6 +77,9 @@ type IndexScan struct {
 	// Correlated is true when the index correlation is high enough that
 	// heap fetches are charged (and hinted) as sequential.
 	Correlated bool
+	// rangeSel is the selectivity of the key range alone, kept so the scan
+	// can be re-costed under new parameters without re-deriving the range.
+	rangeSel float64
 }
 
 func (*IndexScan) name() string     { return "IndexScan" }
@@ -163,7 +168,7 @@ func (j *HashJoin) detail() []string {
 		d = append(d, "residual: "+conjString(j.Residual))
 	}
 	if j.Batches > 1 {
-		d = append(d, "batches: "+itoa(j.Batches))
+		d = append(d, "batches: "+strconv.Itoa(j.Batches))
 	}
 	if j.BuildOuter {
 		d = append(d, "build=outer")
@@ -252,7 +257,7 @@ func (s *Sort) children() []Node { return []Node{s.Input} }
 func (s *Sort) detail() []string {
 	var keys []string
 	for _, k := range s.Keys {
-		kk := "col" + itoa(k.Col)
+		kk := "col" + strconv.Itoa(k.Col)
 		if k.Desc {
 			kk += " DESC"
 		}
@@ -332,4 +337,4 @@ type Limit struct {
 
 func (*Limit) name() string       { return "Limit" }
 func (l *Limit) children() []Node { return []Node{l.Input} }
-func (l *Limit) detail() []string { return []string{itoa(int(l.N))} }
+func (l *Limit) detail() []string { return []string{strconv.FormatInt(l.N, 10)} }

@@ -359,8 +359,9 @@ func TestIndexScanCostGrowsWithRandomPageCost(t *testing.T) {
 	expensive.RandomPageCost = 40
 
 	lo, hi := &Bound{Key: 10}, &Bound{Key: 20}
-	c1 := newIndexScan(rel, ix, lo, hi, 0.02, nil, q, cheap)
-	c2 := newIndexScan(rel, ix, lo, hi, 0.02, nil, q, expensive)
+	pc := &planCtx{q: q}
+	c1 := newIndexScan(rel, ix, lo, hi, 0.02, nil, pc, cheap)
+	c2 := newIndexScan(rel, ix, lo, hi, 0.02, nil, pc, expensive)
 	if c2.Cost().Total <= c1.Cost().Total {
 		t.Errorf("random page cost should raise uncorrelated index scan cost: %v vs %v",
 			c2.Cost(), c1.Cost())
@@ -564,8 +565,9 @@ func TestSeqScanCacheAwareness(t *testing.T) {
 	small := DefaultParams()
 	small.EffectiveCacheSizePages = 1 // nothing cached
 
-	cached := newSeqScan(rel, nil, q, big)
-	cold := newSeqScan(rel, nil, q, small)
+	pc := &planCtx{q: q}
+	cached := newSeqScan(rel, nil, pc, big)
+	cold := newSeqScan(rel, nil, pc, small)
 	if cached.Cost().Total >= cold.Cost().Total {
 		t.Errorf("cached scan should be cheaper: %v vs %v", cached.Cost(), cold.Cost())
 	}
@@ -584,11 +586,12 @@ func TestMergeJoinCandidateChosenForSortedInputs(t *testing.T) {
 	rel2 := &plan.Rel{Idx: 1, Name: "o2", Table: tbl}
 	q := &plan.Query{Rels: []*plan.Rel{rel, rel2}}
 	p := DefaultParams()
-	l := newSeqScan(rel, nil, q, p)
-	r := newSeqScan(rel2, nil, q, p)
+	pc := &planCtx{q: q}
+	l := newSeqScan(rel, nil, pc, p)
+	r := newSeqScan(rel2, nil, pc, p)
 	ls := newSort(l, []SortKey{{Col: 0}}, p)
 	rs := newSort(r, []SortKey{{Col: 0}}, p)
-	mj := newMergeJoin(sql.InnerJoin, ls, rs, []int{0}, []int{0}, nil, 5000, q, p)
+	mj := newMergeJoin(sql.InnerJoin, ls, rs, []int{0}, []int{0}, nil, 5000, pc, p)
 	if mj.Cost().Total <= ls.Cost().Total+rs.Cost().Total {
 		t.Error("merge join must cost more than its inputs")
 	}

@@ -85,6 +85,21 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// planShapeEqual reports whether two parameter vectors yield identical
+// plan costs in cost units: every field except TimePerSeqPage and Overlap,
+// which only affect the seconds conversion, never plan choice. When true,
+// a plan tree optimized under one vector is verbatim optimal under the
+// other — the tier-1 re-costing shortcut.
+func (p Params) planShapeEqual(o Params) bool {
+	return p.SeqPageCost == o.SeqPageCost &&
+		p.RandomPageCost == o.RandomPageCost &&
+		p.CPUTupleCost == o.CPUTupleCost &&
+		p.CPUIndexTupleCost == o.CPUIndexTupleCost &&
+		p.CPUOperatorCost == o.CPUOperatorCost &&
+		p.EffectiveCacheSizePages == o.EffectiveCacheSizePages &&
+		p.WorkMemBytes == o.WorkMemBytes
+}
+
 // EstimateSeconds converts a plan cost (in seq-page units) to estimated
 // seconds using the calibrated time of one sequential page fetch. The
 // cost's CPU component overlaps its I/O component by the calibrated

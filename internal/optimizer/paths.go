@@ -157,19 +157,26 @@ func rangeSelectivity(rel *plan.Rel, ix *catalog.Index, r keyRange, q *plan.Quer
 // single-relation conjuncts: a filtered sequential scan, an index scan
 // for any index whose column has usable bounds, or — for derived tables —
 // a scan over the independently optimized subquery.
-func bestAccessPath(rel *plan.Rel, conjs []plan.Conjunct, q *plan.Query, p Params) (Node, error) {
+func bestAccessPath(rel *plan.Rel, conjs []plan.Conjunct, pc *planCtx, p Params, rec *recorder) (Node, error) {
 	if rel.Sub != nil {
+		// The derived table's inner plan is optimized independently under
+		// p, so its shape — and therefore this leaf's candidate set — is
+		// parameter-dependent: the enumeration cannot be replayed.
+		if rec != nil {
+			rec.replayable = false
+		}
 		inner, err := Optimize(rel.Sub, p)
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: derived table %q: %w", rel.Name, err)
 		}
 		var node Node = newSubqueryScan(rel, inner, p)
 		if len(conjs) > 0 {
-			node = newFilter(node, conjs, q, p)
+			node = newFilter(node, conjs, pc, p)
 		}
 		return node, nil
 	}
-	var best Node = newSeqScan(rel, conjs, q, p)
+	ch := startChoice(rec)
+	ch.consider(newSeqScan(rel, conjs, pc, p))
 	for _, ix := range rel.Table.Indexes {
 		r := extractRange(rel, ix, conjs)
 		if !r.bounded() && !r.impossible {
@@ -181,11 +188,8 @@ func bestAccessPath(rel *plan.Rel, conjs []plan.Conjunct, q *plan.Query, p Param
 				residual = append(residual, c)
 			}
 		}
-		sel := rangeSelectivity(rel, ix, r, q)
-		cand := newIndexScan(rel, ix, r.lo, r.hi, sel, residual, q, p)
-		if cand.Cost().Total < best.Cost().Total {
-			best = cand
-		}
+		sel := rangeSelectivity(rel, ix, r, pc.q)
+		ch.consider(newIndexScan(rel, ix, r.lo, r.hi, sel, residual, pc, p))
 	}
-	return best, nil
+	return ch.done(), nil
 }

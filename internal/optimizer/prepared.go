@@ -1,0 +1,299 @@
+package optimizer
+
+import (
+	"sync/atomic"
+
+	"dbvirt/internal/obs"
+	"dbvirt/internal/plan"
+)
+
+// Counters exposing the what-if re-costing hit rate: fast counts plans
+// re-priced from the recorded plan space (O(nodes) work), full counts
+// complete enumerations. A healthy grid sweep or design search should be
+// dominated by fast.
+var (
+	mRecostFast = obs.Global.Counter("whatif.recost.fast")
+	mRecostFull = obs.Global.Counter("whatif.recost.full")
+)
+
+// PreparedQuery is a bound query plus its memoized plan space. Preparing
+// once and calling Optimize per candidate parameter vector is the cheap
+// way to sweep allocations: the first call enumerates and records the
+// search; later calls only re-price. A PreparedQuery is safe for
+// concurrent use by parallel solver workers.
+type PreparedQuery struct {
+	q   *plan.Query
+	ps  *planSpace
+	rec atomic.Pointer[enumRecord]
+}
+
+// Prepare wraps a bound query for repeated what-if optimization.
+func Prepare(q *plan.Query) *PreparedQuery {
+	return &PreparedQuery{q: q, ps: newPlanSpace(q)}
+}
+
+// Query returns the bound query.
+func (pq *PreparedQuery) Query() *plan.Query { return pq.q }
+
+// enumRecord is an immutable snapshot of one enumeration outcome: the
+// parameter vector it is priced under, every argmin the original search
+// resolved (in bottom-up order), and the winning plan tree. Snapshots
+// are swapped atomically so concurrent readers always see a consistent
+// record. choices and origRoot always come from the one full
+// enumeration and are shared unchanged by every record a replay
+// derives, keeping their node pointers aligned (replay memoizes rebuilt
+// subtrees by the original pointers); root is the tree priced under
+// params — identical to origRoot in a full-enumeration record, a
+// rebuilt copy in a replayed one.
+type enumRecord struct {
+	params     Params
+	choices    []choicePoint
+	origRoot   Node
+	root       Node
+	replayable bool
+}
+
+// choicePoint is one argmin the enumerator resolved: the candidate nodes
+// in comparison order and the index that won. The candidate *set* is
+// parameter-independent given that all earlier (lower) choice points
+// resolved the same way — which is exactly what replay verifies.
+type choicePoint struct {
+	cands  []Node
+	winner int
+}
+
+// recorder accumulates choice points during a full enumeration.
+type recorder struct {
+	choices    []choicePoint
+	replayable bool
+}
+
+// chooser folds the optimizer's standard argmin — strict <, first
+// candidate wins ties — over a candidate list, recording the list when a
+// recorder is attached. All plan-choice sites route through it so the
+// recorded comparison order matches enumeration exactly.
+type chooser struct {
+	rec     *recorder
+	cands   []Node
+	best    Node
+	bestIdx int
+	n       int
+}
+
+func startChoice(rec *recorder) chooser { return chooser{rec: rec, bestIdx: -1} }
+
+func (c *chooser) consider(n Node) {
+	if c.best == nil || n.Cost().Total < c.best.Cost().Total {
+		c.best, c.bestIdx = n, c.n
+	}
+	c.n++
+	if c.rec != nil {
+		c.cands = append(c.cands, n)
+	}
+}
+
+func (c *chooser) done() Node {
+	if c.rec != nil && c.n > 0 {
+		c.rec.choices = append(c.rec.choices, choicePoint{cands: c.cands, winner: c.bestIdx})
+	}
+	return c.best
+}
+
+// Optimize plans the prepared query under p via the two-tier fast path:
+//
+//	tier 1: p agrees with the recorded vector on every plan-shaping field
+//	        (only the seconds conversion differs) — reuse the recorded
+//	        tree outright.
+//	tier 2: re-price each recorded choice point's candidates under p and
+//	        verify the same candidate still dominates; all winners
+//	        unchanged means the recorded shape is provably the optimum
+//	        under p, so only the O(nodes) re-pricing was paid.
+//
+// Any flipped winner — or a query with derived tables, whose inner plans
+// must be re-optimized — falls back to full enumeration and records a
+// fresh snapshot.
+func (pq *PreparedQuery) Optimize(p Params) (*Plan, error) {
+	mOptimizeCalls.Inc()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	pc := &planCtx{q: pq.q, ps: pq.ps}
+	if rec := pq.rec.Load(); rec != nil && rec.replayable {
+		if p.planShapeEqual(rec.params) {
+			mRecostFast.Inc()
+			return &Plan{Root: rec.root, Query: pq.q, Params: p, prep: pq}, nil
+		}
+		if next, ok := replay(rec, pc, p); ok {
+			mRecostFast.Inc()
+			pq.rec.Store(next)
+			return &Plan{Root: next.root, Query: pq.q, Params: p, prep: pq}, nil
+		}
+	}
+	mRecostFull.Inc()
+	rec := &recorder{replayable: true}
+	pl, err := optimizeInto(pc, p, rec)
+	if err != nil {
+		return nil, err
+	}
+	pl.prep = pq
+	pq.rec.Store(&enumRecord{params: p, choices: rec.choices, origRoot: pl.Root, root: pl.Root, replayable: rec.replayable})
+	return pl, nil
+}
+
+// Recost re-prices the plan's query under a new parameter vector,
+// returning a plan identical to Optimize(pl.Query, p) but usually without
+// re-running join enumeration. Plans produced by a PreparedQuery keep
+// their plan-space memo; plans from the plain Optimize entry point fall
+// back to a full optimization.
+func (pl *Plan) Recost(p Params) (*Plan, error) {
+	if pl.prep != nil {
+		return pl.prep.Optimize(p)
+	}
+	mRecostFull.Inc()
+	return Optimize(pl.Query, p)
+}
+
+// replay re-resolves every recorded choice point under new parameters.
+// Candidates are rebuilt bottom-up (children of later candidates are the
+// already-verified winners of earlier choice points), so a full pass with
+// no flipped winner reconstructs, node for node, what a from-scratch
+// enumeration under p would have built — at O(total candidates) instead
+// of O(3^n) subset splits.
+// A successful replay returns a fresh record under p — the same choice
+// points (candidate structure and winners are parameter-independent)
+// with the re-priced root — which the caller publishes so subsequent
+// re-costs under the same plan-shape parameters take the tier-1
+// pointer-reuse path instead of replaying again (the common case when a
+// workload repeats a statement).
+func replay(rec *enumRecord, pc *planCtx, p Params) (*enumRecord, bool) {
+	r := &replayer{memo: make(map[Node]Node, 2*len(rec.choices)), pc: pc, p: p}
+	for _, cp := range rec.choices {
+		best := -1
+		var bestTotal float64
+		for i, cand := range cp.cands {
+			nc := r.rebuild(cand)
+			if nc == nil {
+				return nil, false
+			}
+			if best < 0 || nc.Cost().Total < bestTotal {
+				best, bestTotal = i, nc.Cost().Total
+			}
+		}
+		if best != cp.winner {
+			return nil, false
+		}
+	}
+	root := r.rebuild(rec.origRoot)
+	if root == nil {
+		return nil, false
+	}
+	return &enumRecord{params: p, choices: rec.choices, origRoot: rec.origRoot, root: root, replayable: true}, true
+}
+
+// replayer rebuilds recorded nodes under new parameters, memoizing by the
+// old node's pointer identity so shared subtrees are re-priced once.
+type replayer struct {
+	memo map[Node]Node
+	pc   *planCtx
+	p    Params
+}
+
+func (r *replayer) rebuild(n Node) Node {
+	if nn, ok := r.memo[n]; ok {
+		return nn
+	}
+	nn := r.rebuildNode(n)
+	if nn != nil {
+		r.memo[n] = nn
+	}
+	return nn
+}
+
+// rebuildNode re-runs the original node constructor with the old node's
+// structural fields and the new parameter vector, producing exactly the
+// node a fresh enumeration would. Children are accessed directly per
+// kind (no children() slice), and the old node's layout is lent to the
+// constructor: both are parameter-independent, as are the join rows
+// passed through from the old node (derived tables, the exception, are
+// never replayed). A nil return means the node kind cannot be replayed
+// and the caller must fall back to enumeration.
+func (r *replayer) rebuildNode(old Node) Node {
+	pc, p := r.pc, r.p
+	switch n := old.(type) {
+	case *SeqScan:
+		pc.lendLayout(n.layout)
+		return newSeqScan(n.Rel, n.Filter, pc, p)
+	case *IndexScan:
+		pc.lendLayout(n.layout)
+		return newIndexScan(n.Rel, n.Index, n.Lo, n.Hi, n.rangeSel, n.Filter, pc, p)
+	case *FilterNode:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		return newFilter(in, n.Conds, pc, p)
+	case *NLJoin:
+		outer, inner := r.rebuild(n.Outer), r.rebuild(n.Inner)
+		if outer == nil || inner == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newNLJoin(n.Type, outer, inner, n.On, n.Rows(), pc, p)
+	case *HashJoin:
+		left, right := r.rebuild(n.Left), r.rebuild(n.Right)
+		if left == nil || right == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newHashJoin(n.Type, left, right, n.LeftKeys, n.RightKeys, n.Residual, n.Rows(), n.BuildOuter, pc, p)
+	case *MergeJoin:
+		left, right := r.rebuild(n.Left), r.rebuild(n.Right)
+		if left == nil || right == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newMergeJoin(n.Type, left, right, n.LeftCols, n.RightCols, n.Residual, n.Rows(), pc, p)
+	case *IndexNLJoin:
+		outer := r.rebuild(n.Outer)
+		if outer == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newIndexNLJoin(n.Type, outer, n.InnerRel, n.Index, n.OuterKey, n.InnerFilter, n.Residual, n.Rows(), pc, p)
+	case *Sort:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		return newSort(in, n.Keys, p)
+	case *HashAgg:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newHashAgg(in, n.GroupBy, n.Aggs, pc, p)
+	case *Project:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		pc.lendLayout(n.layout)
+		return newProject(in, n.Cols, pc, p)
+	case *Distinct:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		return newDistinct(in, n.VisibleCols, p)
+	case *Limit:
+		in := r.rebuild(n.Input)
+		if in == nil {
+			return nil
+		}
+		return newLimit(in, n.N, p)
+	default:
+		// SubqueryScan (derived tables) and anything future: not replayable.
+		return nil
+	}
+}

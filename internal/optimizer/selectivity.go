@@ -339,15 +339,6 @@ func joinSelectivity(op sql.BinaryOp, a, b *plan.ColRef, q *plan.Query) float64 
 	return clampSel(sel)
 }
 
-// conjunctsSelectivity multiplies the selectivities of a conjunct list.
-func conjunctsSelectivity(conjs []plan.Conjunct, q *plan.Query) float64 {
-	s := 1.0
-	for _, c := range conjs {
-		s *= selectivity(c.E, q)
-	}
-	return clampSel(s)
-}
-
 // groupCountEstimate estimates the number of distinct groups produced by
 // grouping inputRows rows on the given keys.
 func groupCountEstimate(groupBy []plan.Expr, inputRows float64, q *plan.Query) float64 {
