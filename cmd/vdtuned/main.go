@@ -1,0 +1,171 @@
+// Command vdtuned runs the tuning-as-a-service daemon: an HTTP/JSON
+// server exposing the what-if cost model (/v1/whatif), asynchronous
+// design-search jobs (/v1/solve, /v1/jobs/{id}), and calibration-grid
+// lookups (/v1/calibration/grid), with request coalescing, admission
+// control, and graceful drain on SIGINT/SIGTERM. See DESIGN.md §10 and
+// the README quickstart.
+//
+// Usage:
+//
+//	vdtuned [-addr :8080] [-scale small] [-grid grid.json | -checkpoint ck.json | -calibrate]
+//	        [-faults spec] [-max-inflight N] [-max-queue N] [-job-workers N]
+//	        [-drain-timeout 30s] [-j N]
+//
+// Grid sources, in priority order: -grid loads a grid saved with
+// SaveJSON; -checkpoint serves a completed calibration checkpoint;
+// -calibrate measures a fresh grid at startup (slow; honors -faults);
+// otherwise a deterministic synthetic grid is used — fine for demos and
+// load tests, not for real tuning.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dbvirt/internal/calibration"
+	"dbvirt/internal/experiments"
+	"dbvirt/internal/faults"
+	"dbvirt/internal/obs"
+	"dbvirt/internal/server"
+	"dbvirt/internal/vm"
+	"dbvirt/internal/workload"
+)
+
+// defaultAxes is the lattice served when vdtuned calibrates or
+// synthesizes its own grid: the quartile shares on every axis.
+var defaultAxes = []float64{0.25, 0.5, 0.75, 1.0}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	scale := flag.String("scale", "small", "database scale: tiny, small, or experiment")
+	gridPath := flag.String("grid", "", "serve a calibration grid saved with -grid-out / SaveJSON")
+	ckPath := flag.String("checkpoint", "", "serve a completed grid-calibration checkpoint")
+	calibrate := flag.Bool("calibrate", false, "measure a fresh calibration grid at startup")
+	faultSpec := flag.String("faults", "", "fault-injection spec for -calibrate (see internal/faults)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent what-if sweeps (0 = GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 0, "max sweeps waiting for a slot before 429 (0 = 4x max-inflight)")
+	jobWorkers := flag.Int("job-workers", 2, "solve worker-pool size")
+	jobQueue := flag.Int("job-queue", 16, "max queued solve jobs before 429")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish accepted work on shutdown")
+	reqTimeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	jobs := flag.Int("j", 0, "solver parallelism (0 = GOMAXPROCS)")
+	var oflags obs.Flags
+	oflags.Register(flag.CommandLine)
+	flag.Parse()
+
+	tel, closeObs, handled, err := oflags.Setup("vdtuned")
+	if err != nil {
+		fail("%v", err)
+	}
+	if handled {
+		return
+	}
+	defer closeObs()
+
+	var env *experiments.Env
+	switch *scale {
+	case "tiny":
+		env = experiments.NewEnv(workload.TinyScale(), vm.DefaultMachineConfig())
+	case "small":
+		env = experiments.QuickEnv()
+	case "experiment":
+		env = experiments.DefaultEnv()
+	default:
+		fail("unknown scale %q (want tiny, small, or experiment)", *scale)
+	}
+	env.Parallelism = *jobs
+	env.Obs = tel
+
+	grid, err := loadGrid(env, *gridPath, *ckPath, *calibrate, *faultSpec)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	srv, err := server.New(server.Config{
+		Env:            env,
+		Grid:           grid,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		JobWorkers:     *jobWorkers,
+		JobQueue:       *jobQueue,
+		DefaultTimeout: *reqTimeout,
+		Parallelism:    *jobs,
+		Obs:            tel,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	fmt.Printf("vdtuned: listening on %s\n", *addr)
+
+	select {
+	case err := <-errc:
+		fail("serve: %v", err)
+	case sig := <-sigc:
+		fmt.Printf("vdtuned: %s received, draining (timeout %s)\n", sig, *drainTimeout)
+	}
+
+	// Drain order: stop accepting new work and finish every accepted job,
+	// then shut the listener down so late pollers still got their results.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "vdtuned: drain incomplete: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Println("vdtuned: drained, exiting")
+}
+
+// loadGrid resolves the served calibration grid from the flag set.
+func loadGrid(env *experiments.Env, gridPath, ckPath string, calibrate bool, faultSpec string) (*calibration.Grid, error) {
+	switch {
+	case gridPath != "":
+		f, err := os.Open(gridPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		g, err := calibration.LoadGrid(f)
+		if err != nil {
+			return nil, fmt.Errorf("loading grid %s: %w", gridPath, err)
+		}
+		return g, nil
+	case ckPath != "":
+		g, err := calibration.LoadCheckpointGrid(ckPath)
+		if err != nil {
+			return nil, err
+		}
+		return g, nil
+	case calibrate:
+		if faultSpec != "" {
+			cfg, err := faults.Parse(faultSpec)
+			if err != nil {
+				return nil, fmt.Errorf("-faults: %w", err)
+			}
+			env.CalCfg.Faults = faults.New(cfg)
+		}
+		fmt.Println("vdtuned: calibrating grid (this can take a while)...")
+		return env.Calibrator().CalibrateGrid(context.Background(), defaultAxes, defaultAxes, defaultAxes)
+	default:
+		return experiments.SyntheticGrid(defaultAxes, defaultAxes, defaultAxes)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "vdtuned: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrainUnderLoad builds the real binary, loads it over HTTP,
+// sends SIGTERM mid-flight, and requires a clean exit: accepted jobs
+// finish, their results stay pollable through the drain, and the process
+// exits 0. This is the daemon's contract tested at the process boundary
+// — signal handling and listener shutdown included, which no httptest
+// harness covers.
+func TestGracefulDrainUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vdtuned binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "vdtuned")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-scale", "tiny", "-drain-timeout", "60s")
+	var stderr bytes.Buffer
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the readiness line, teeing stdout for the final assertions.
+	ready := make(chan struct{})
+	scanDone := make(chan struct{})
+	var mu sync.Mutex
+	var out bytes.Buffer
+	go func() {
+		defer close(scanDone)
+		sc := bufio.NewScanner(stdout)
+		once := sync.Once{}
+		for sc.Scan() {
+			mu.Lock()
+			fmt.Fprintln(&out, sc.Text())
+			mu.Unlock()
+			if strings.Contains(sc.Text(), "listening on") {
+				once.Do(func() { close(ready) })
+			}
+		}
+	}()
+	readLogs := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.String()
+	}
+	select {
+	case <-ready:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never reported readiness; output:\n%s", readLogs())
+	}
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Health check, then put real work in flight.
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	post := func(path, body string) (*http.Response, []byte) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+
+	solveBody := `{"workloads":[{"query":"Q4","repeat":2},{"query":"Q13","repeat":3}],"step":0.25}`
+	resp, body := post("/v1/solve", solveBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("solve: status %d: %s", resp.StatusCode, body)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Background what-if load while the signal lands.
+	stop := make(chan struct{})
+	var loadWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		loadWG.Add(1)
+		go func() {
+			defer loadWG.Done()
+			body := `{"workloads":[{"query":"Q4"}],"allocations":[{"cpu":0.5,"memory":0.5,"io":0.5}]}`
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Post(base+"/v1/whatif", "application/json", strings.NewReader(body))
+				if err != nil {
+					return // listener closing during drain is expected
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	// During drain the accepted job must stay pollable until done. Poll
+	// until the connection dies (listener closed at the end of drain).
+	sawTerminal := false
+	for deadline := time.Now().Add(60 * time.Second); time.Now().Before(deadline); {
+		resp, err := client.Get(base + "/v1/jobs/" + acc.JobID)
+		if err != nil {
+			break
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st struct {
+			State string `json:"state"`
+		}
+		if json.Unmarshal(b, &st) == nil && (st.State == "done" || st.State == "failed" || st.State == "canceled") {
+			if st.State != "done" {
+				t.Fatalf("drained job ended %s: %s", st.State, b)
+			}
+			sawTerminal = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	loadWG.Wait()
+
+	err = cmd.Wait()
+	select {
+	case <-scanDone:
+	case <-time.After(10 * time.Second):
+	}
+	logs := readLogs() + stderr.String() // stderr copy is complete after Wait
+	if err != nil {
+		t.Fatalf("vdtuned exited non-zero: %v\noutput:\n%s", err, logs)
+	}
+	if !strings.Contains(logs, "drained, exiting") {
+		t.Fatalf("missing drain completion line; output:\n%s", logs)
+	}
+	if !sawTerminal && !strings.Contains(logs, "drained, exiting") {
+		t.Fatalf("job %s never observed terminal and daemon did not drain; output:\n%s", acc.JobID, logs)
+	}
+	_ = os.Remove(bin)
+}

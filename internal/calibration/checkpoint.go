@@ -151,6 +151,61 @@ func loadCheckpoint(path, sig string, g *Grid, completed []bool) (int, error) {
 	return count, nil
 }
 
+// LoadCheckpointGrid reads a grid-calibration checkpoint written by
+// CalibrateGridOpts and returns the complete Grid it describes, for
+// serving: the daemon's /v1/calibration/grid endpoint answers lookups and
+// interpolations straight from a checkpoint without re-running any
+// calibration. The version and checksum are verified (a torn or edited
+// file is rejected), but — unlike resumption — no config signature is
+// required: serving only reads the measured values, so there is no risk
+// of mixing measurements from incompatible configurations. Every lattice
+// point must be present; a checkpoint from an interrupted run is an error
+// naming how many points are missing.
+func LoadCheckpointGrid(path string) (*Grid, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var ck checkpointJSON
+	if err := json.Unmarshal(b, &ck); err != nil {
+		return nil, fmt.Errorf("calibration: decoding checkpoint: %w", err)
+	}
+	if ck.Version != checkpointVersion {
+		return nil, fmt.Errorf("calibration: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	want, err := ck.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if ck.Checksum != want {
+		return nil, fmt.Errorf("calibration: checkpoint checksum mismatch (file corrupt or edited): have %s, want %s", ck.Checksum, want)
+	}
+	if len(ck.CPUs) == 0 || len(ck.Mems) == 0 || len(ck.IOs) == 0 {
+		return nil, fmt.Errorf("calibration: checkpoint has empty axes")
+	}
+	g := newGrid(ck.CPUs, ck.Mems, ck.IOs)
+	have := 0
+	seen := make([]bool, len(g.points))
+	for _, pt := range ck.Points {
+		if pt.Idx < 0 || pt.Idx >= len(g.points) {
+			return nil, fmt.Errorf("calibration: checkpoint point index %d out of range", pt.Idx)
+		}
+		if err := pt.Params.Validate(); err != nil {
+			return nil, fmt.Errorf("calibration: checkpoint point %d: %w", pt.Idx, err)
+		}
+		if !seen[pt.Idx] {
+			seen[pt.Idx] = true
+			have++
+		}
+		g.points[pt.Idx] = pt.Params
+	}
+	if have != len(g.points) {
+		return nil, fmt.Errorf("calibration: checkpoint is incomplete: %d of %d lattice points (resume the calibration before serving it)",
+			have, len(g.points))
+	}
+	return g, nil
+}
+
 func equalAxis(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"dbvirt/internal/sql"
+)
+
+// FuzzNormalizeSQL checks the cache-key invariants of NormalizeSQL
+// against arbitrary input. The prepared-statement cache keys on the
+// normalized text, so these properties are correctness, not hygiene: a
+// violation means two differently-behaving statements could share a
+// cache entry, or one statement could occupy several.
+func FuzzNormalizeSQL(f *testing.F) {
+	for _, seed := range []string{
+		"SELECT 1",
+		"  SELECT\t*\nFROM t  ;  ",
+		"SELECT a -- comment\nFROM t",
+		"SELECT 'a  --  b' FROM t",
+		"SELECT 'it''s  fine' FROM t",
+		"SELECT 1;;",
+		"select a from t where b = 'x'",
+		"-- only a comment",
+		"",
+		";",
+		"'",
+		"SELECT a--b\nFROM t",
+		"\x00 \xff'",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		norm := NormalizeSQL(src)
+
+		// Idempotent: normalizing a normalized statement is the identity.
+		// Without this, raw and re-normalized lookups of the same statement
+		// would miss each other in the cache.
+		if again := NormalizeSQL(norm); again != norm {
+			t.Fatalf("not idempotent:\n src %q\n 1st %q\n 2nd %q", src, norm, again)
+		}
+		// Normalization only removes or collapses; it never invents bytes.
+		if len(norm) > len(src) {
+			t.Fatalf("grew input: len %d -> %d\n src %q\n out %q", len(src), len(norm), src, norm)
+		}
+		// Parse equivalence: the lexer skips comments and whitespace, so a
+		// statement the parser accepts must still be accepted after
+		// normalization — otherwise the cache would prepare a different
+		// statement than the raw path executes.
+		if _, err := sql.Parse(src); err == nil {
+			if _, err := sql.Parse(norm); err != nil && norm != "" {
+				t.Fatalf("parseable input normalized to unparseable text:\n src %q\n out %q\n err %v", src, norm, err)
+			}
+		}
+		// Outside string literals nothing but printable single spaces
+		// separate tokens: no tabs, newlines, or double spaces survive.
+		inStr := false
+		for i := 0; i < len(norm); i++ {
+			c := norm[i]
+			if inStr {
+				if c == '\'' {
+					inStr = false
+				}
+				continue
+			}
+			switch c {
+			case '\'':
+				inStr = true
+			case '\t', '\n', '\r':
+				t.Fatalf("control whitespace outside literal at %d:\n src %q\n out %q", i, src, norm)
+			case ' ':
+				if i+1 < len(norm) && norm[i+1] == ' ' {
+					t.Fatalf("double space outside literal at %d:\n src %q\n out %q", i, src, norm)
+				}
+			}
+		}
+	})
+}

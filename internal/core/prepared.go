@@ -18,11 +18,19 @@ var (
 )
 
 // NormalizeSQL canonicalizes statement text for cache identity: runs of
-// whitespace outside single-quoted literals collapse to one space,
-// surrounding whitespace and a trailing semicolon are dropped. Two
-// statements normalizing equal parse and bind identically, so — unlike
-// the old first-words keying — the normalized text is a collision-free
-// cache key.
+// whitespace outside single-quoted literals collapse to one space, "--"
+// line comments are removed (the lexer skips them, so they carry no parse
+// meaning), and surrounding whitespace and trailing semicolons are
+// dropped. Two statements normalizing equal parse and bind identically,
+// so — unlike the old first-words keying — the normalized text is a
+// collision-free cache key. The function is idempotent:
+// NormalizeSQL(NormalizeSQL(s)) == NormalizeSQL(s).
+//
+// Comment removal is load-bearing, not cosmetic: collapsing the newline
+// that terminates a "-- ..." comment into a space would splice the rest
+// of the statement into the comment, so the normalized text would parse
+// differently from the original. Deleting the comment (as whitespace)
+// keeps the token stream identical to the lexer's view of the input.
 func NormalizeSQL(s string) string {
 	var b strings.Builder
 	b.Grow(len(s))
@@ -42,6 +50,16 @@ func NormalizeSQL(s string) string {
 			}
 			continue
 		}
+		if c == '-' && i+1 < len(s) && s[i+1] == '-' {
+			// Line comment: skip to (not past) the terminating newline,
+			// which the next iteration folds into pending whitespace.
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			i--
+			pendingSpace = true
+			continue
+		}
 		switch c {
 		case ' ', '\t', '\n', '\r':
 			pendingSpace = true
@@ -57,8 +75,17 @@ func NormalizeSQL(s string) string {
 		}
 	}
 	out := b.String()
-	out = strings.TrimSuffix(out, ";")
-	return strings.TrimRight(out, " ")
+	// Strip any run of trailing semicolons and the spaces between them, so
+	// "SELECT 1 ; ;" and "SELECT 1" key identically and normalization is a
+	// fixed point.
+	for {
+		t := strings.TrimRight(out, " ")
+		t = strings.TrimSuffix(t, ";")
+		if t == out {
+			return out
+		}
+		out = t
+	}
 }
 
 // truncateSQL shortens statement text for error messages.

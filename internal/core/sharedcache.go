@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dbvirt/internal/obs"
+	"dbvirt/internal/vm"
+)
+
+// Shared-cache metrics: the cross-solve analogue of the core.cache.*
+// counters. A shared hit means some earlier solve or request already paid
+// for the cost-model call.
+var (
+	mSharedHit    = obs.Global.Counter("core.shared.hit")
+	mSharedMiss   = obs.Global.Counter("core.shared.miss")
+	mSharedInWait = obs.Global.Counter("core.shared.inflight_wait")
+)
+
+// SharedCostModel wraps a CostModel with a process-lifetime, concurrency-
+// safe memo so identical (workload, shares) evaluations are computed once
+// across every solve and request that shares the wrapper — the serving-
+// side extension of the per-solve cost cache. An in-flight computation is
+// joined singleflight-style rather than repeated, so concurrent callers
+// racing on the same key coalesce onto one model invocation. Errors are
+// not cached (a failed computation may be retried later), panics in the
+// inner model are converted to errors, and a waiter whose ctx is
+// cancelled stops waiting while the computation it joined continues for
+// the others.
+//
+// Because the memo only ever returns values the inner model produced for
+// the same key, a deterministic inner model stays deterministic through
+// the wrapper: results are bit-identical whether a lookup hits, joins, or
+// computes. Solvers layer their own per-solve cache on top; their
+// Result.Evaluations then counts invocations of the shared model, whose
+// misses alone reach the inner model.
+type SharedCostModel struct {
+	inner  CostModel
+	keyFn  func(*WorkloadSpec) string
+	shards [cacheShards]sharedShard
+}
+
+type sharedShard struct {
+	mu      sync.Mutex
+	entries map[sharedKey]*costEntry
+}
+
+// sharedKey identifies one memo slot: the caller-scoped workload identity
+// plus the quantized shares.
+type sharedKey struct {
+	wk  string
+	key [3]int64
+}
+
+// shard hashes the key onto a lock shard (FNV-1a over the workload key,
+// then the same mixing as memoKey).
+func (k sharedKey) shard() int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.wk); i++ {
+		h = (h ^ uint64(k.wk[i])) * 1099511628211
+	}
+	for _, v := range k.key {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	return int(h % cacheShards)
+}
+
+// NewSharedCostModel wraps inner with a shared memo. key maps a workload
+// spec to its cache identity; workloads whose keys are equal MUST price
+// identically under the inner model (same statements against the same
+// database), or the cache will serve one workload's costs for another.
+// A nil key falls back to pointer identity, which is always sound but
+// only coalesces callers that share *WorkloadSpec values (interned specs,
+// as the server's registry hands out).
+func NewSharedCostModel(inner CostModel, key func(*WorkloadSpec) string) *SharedCostModel {
+	if key == nil {
+		key = func(w *WorkloadSpec) string { return fmt.Sprintf("%p", w) }
+	}
+	m := &SharedCostModel{inner: inner, keyFn: key}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[sharedKey]*costEntry)
+	}
+	return m
+}
+
+// Name implements CostModel; the wrapper is transparent in reports.
+func (m *SharedCostModel) Name() string { return m.inner.Name() }
+
+// Cost implements CostModel with at-most-once evaluation per distinct
+// (workload key, quantized shares) pair.
+func (m *SharedCostModel) Cost(ctx context.Context, w *WorkloadSpec, shares vm.Shares) (float64, error) {
+	k := sharedKey{wk: m.keyFn(w), key: quantizeShares(shares)}
+	sh := &m.shards[k.shard()]
+	sh.mu.Lock()
+	if e, ok := sh.entries[k]; ok {
+		sh.mu.Unlock()
+		mSharedHit.Inc()
+		select {
+		case <-e.done:
+		default:
+			mSharedInWait.Inc()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			}
+		}
+		return e.val, e.err
+	}
+	e := &costEntry{done: make(chan struct{})}
+	sh.entries[k] = e
+	sh.mu.Unlock()
+
+	start := time.Now()
+	func() {
+		// Mirror costCache.Cost: finalize the entry even if the inner model
+		// panics, and drop failed entries so a later call may retry.
+		defer func() {
+			if r := recover(); r != nil {
+				e.val, e.err = 0, fmt.Errorf("core: cost model %s panicked: %v", m.inner.Name(), r)
+			}
+			if e.err == nil {
+				mSharedMiss.Inc()
+				hEvalSeconds.ObserveSince(start)
+			}
+			close(e.done)
+			if e.err != nil {
+				sh.mu.Lock()
+				delete(sh.entries, k)
+				sh.mu.Unlock()
+			}
+		}()
+		e.val, e.err = m.inner.Cost(ctx, w, shares)
+	}()
+	return e.val, e.err
+}
+
+// Len reports the number of cached entries (for tests and the server's
+// stats surface); it is O(shards) plus map sizes.
+func (m *SharedCostModel) Len() int {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.Lock()
+		n += len(m.shards[i].entries)
+		m.shards[i].mu.Unlock()
+	}
+	return n
+}

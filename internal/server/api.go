@@ -1,0 +1,343 @@
+// Package server implements vdtuned: a long-running tuning-as-a-service
+// daemon over the virtualization design engine. It exposes the what-if
+// cost model and the design-search solvers as an HTTP/JSON API, sharing
+// one prepared-statement cache and one cross-request cost memo across
+// every session, coalescing identical in-flight what-if sweeps, bounding
+// concurrency with admission control, and draining gracefully on
+// shutdown. The paper casts the design advisor as a tool invoked per
+// consolidation decision; this package is the shape that tool takes when
+// it must serve many concurrent tuning sessions (see DESIGN.md §10).
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/experiments"
+	"dbvirt/internal/vm"
+	"dbvirt/internal/workload"
+)
+
+// Request size bounds: anything beyond these is a malformed or abusive
+// request, rejected with 400 before any work is done.
+const (
+	maxWorkloads   = 16
+	maxRepeat      = 64
+	maxAllocations = 4096
+	maxBodyBytes   = 1 << 20
+)
+
+// WorkloadRef names one workload of a request: n repetitions of one of
+// the built-in benchmark queries (Q1, Q3, Q4, Q6, Q13, QPOINT) over a
+// server-managed database. Workloads with equal query/repeat/weight/SLO
+// resolve to the same interned *core.WorkloadSpec, so the shared cost
+// memo and prepared-statement cache apply across requests and sessions.
+type WorkloadRef struct {
+	Name       string  `json:"name,omitempty"`
+	Query      string  `json:"query"`
+	Repeat     int     `json:"repeat,omitempty"` // default 1
+	Weight     float64 `json:"weight,omitempty"`
+	SLOSeconds float64 `json:"slo_seconds,omitempty"`
+}
+
+// SharesDTO is one allocation column: the fraction of each physical
+// resource granted to a workload's VM.
+type SharesDTO struct {
+	CPU    float64 `json:"cpu"`
+	Memory float64 `json:"memory"`
+	IO     float64 `json:"io"`
+}
+
+func (s SharesDTO) shares() vm.Shares {
+	return vm.Shares{CPU: s.CPU, Memory: s.Memory, IO: s.IO}
+}
+
+func sharesDTO(s vm.Shares) SharesDTO {
+	return SharesDTO{CPU: s.CPU, Memory: s.Memory, IO: s.IO}
+}
+
+func (s SharesDTO) validate() error {
+	for _, v := range []float64{s.CPU, s.Memory, s.IO} {
+		if !(v > 0 && v <= 1) {
+			return fmt.Errorf("share %g out of range (0, 1]", v)
+		}
+	}
+	return nil
+}
+
+// WhatIfRequest asks for the batch cost matrix of a workload set under
+// candidate allocations — one row per workload, one column per
+// allocation, exactly the inner loop of the paper's design search.
+type WhatIfRequest struct {
+	Workloads   []WorkloadRef `json:"workloads"`
+	Allocations []SharesDTO   `json:"allocations"`
+	// TimeoutMS bounds this request's computation; 0 uses the server
+	// default. The deadline is threaded into every cost-model call.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r *WhatIfRequest) validate() error {
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("no workloads")
+	}
+	if len(r.Workloads) > maxWorkloads {
+		return fmt.Errorf("too many workloads (%d > %d)", len(r.Workloads), maxWorkloads)
+	}
+	if len(r.Allocations) == 0 {
+		return fmt.Errorf("no allocations")
+	}
+	if len(r.Allocations) > maxAllocations {
+		return fmt.Errorf("too many allocations (%d > %d)", len(r.Allocations), maxAllocations)
+	}
+	for i, w := range r.Workloads {
+		if err := validateRef(w); err != nil {
+			return fmt.Errorf("workload %d: %w", i, err)
+		}
+	}
+	for i, a := range r.Allocations {
+		if err := a.validate(); err != nil {
+			return fmt.Errorf("allocation %d: %w", i, err)
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms")
+	}
+	return nil
+}
+
+// coalesceKey is the canonical identity of a what-if sweep: defaults
+// applied, names dropped (they do not affect costs), deterministic field
+// order. Two requests with equal keys compute byte-identical responses,
+// which is what makes coalescing them sound.
+func (r *WhatIfRequest) coalesceKey() string {
+	var b strings.Builder
+	for _, w := range r.Workloads {
+		fmt.Fprintf(&b, "w:%s;", refKey(w))
+	}
+	for _, a := range r.Allocations {
+		fmt.Fprintf(&b, "a:%.9f,%.9f,%.9f;", a.CPU, a.Memory, a.IO)
+	}
+	return b.String()
+}
+
+// WhatIfResponse is the dense cost matrix: Costs[i][j] is the predicted
+// seconds of Workloads[i] under Allocations[j].
+type WhatIfResponse struct {
+	Model string      `json:"model"`
+	Costs [][]float64 `json:"costs"`
+}
+
+// SolveRequest submits one design problem for asynchronous solving.
+type SolveRequest struct {
+	Workloads  []WorkloadRef `json:"workloads"`
+	Resources  []string      `json:"resources,omitempty"` // default ["cpu"]
+	Step       float64       `json:"step,omitempty"`      // default 0.25
+	Algo       string        `json:"algo,omitempty"`      // dp (default), greedy, exhaustive
+	SLOPenalty float64       `json:"slo_penalty,omitempty"`
+	TimeoutMS  int64         `json:"timeout_ms,omitempty"`
+}
+
+func (r *SolveRequest) applyDefaults() {
+	if r.Step == 0 {
+		r.Step = 0.25
+	}
+	if r.Algo == "" {
+		r.Algo = "dp"
+	}
+	if len(r.Resources) == 0 {
+		r.Resources = []string{"cpu"}
+	}
+}
+
+func (r *SolveRequest) validate() error {
+	if len(r.Workloads) < 2 {
+		return fmt.Errorf("need at least 2 workloads, got %d", len(r.Workloads))
+	}
+	if len(r.Workloads) > maxWorkloads {
+		return fmt.Errorf("too many workloads (%d > %d)", len(r.Workloads), maxWorkloads)
+	}
+	for i, w := range r.Workloads {
+		if err := validateRef(w); err != nil {
+			return fmt.Errorf("workload %d: %w", i, err)
+		}
+	}
+	switch r.Algo {
+	case "dp", "greedy", "exhaustive":
+	default:
+		return fmt.Errorf("unknown algo %q (want dp, greedy, or exhaustive)", r.Algo)
+	}
+	if !(r.Step > 0 && r.Step <= 0.5) {
+		return fmt.Errorf("step %g out of range (0, 0.5]", r.Step)
+	}
+	for _, res := range r.Resources {
+		if _, err := parseResource(res); err != nil {
+			return err
+		}
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("negative timeout_ms")
+	}
+	if r.SLOPenalty < 0 {
+		return fmt.Errorf("negative slo_penalty")
+	}
+	return nil
+}
+
+func parseResource(s string) (vm.Resource, error) {
+	switch strings.TrimSpace(strings.ToLower(s)) {
+	case "cpu":
+		return vm.CPU, nil
+	case "memory", "mem":
+		return vm.Memory, nil
+	case "io":
+		return vm.IO, nil
+	}
+	return 0, fmt.Errorf("unknown resource %q (want cpu, memory, or io)", s)
+}
+
+// SolveAccepted acknowledges an accepted solve job.
+type SolveAccepted struct {
+	JobID string `json:"job_id"`
+}
+
+// SolveResult is the deterministic part of a core.Result: everything but
+// the wall clock, so the same problem solved twice — serially or under
+// load — marshals to byte-identical JSON.
+type SolveResult struct {
+	Algorithm      string      `json:"algorithm"`
+	Allocation     []SharesDTO `json:"allocation"`
+	PredictedCosts []float64   `json:"predicted_costs"`
+	PredictedTotal float64     `json:"predicted_total"`
+	Evaluations    int         `json:"evaluations"`
+	CacheHits      int         `json:"cache_hits"`
+}
+
+func solveResult(r *core.Result) *SolveResult {
+	out := &SolveResult{
+		Algorithm:      r.Algorithm,
+		PredictedCosts: r.PredictedCosts,
+		PredictedTotal: r.PredictedTotal,
+		Evaluations:    r.Evaluations,
+		CacheHits:      r.CacheHits,
+	}
+	for _, sh := range r.Allocation {
+		out.Allocation = append(out.Allocation, sharesDTO(sh))
+	}
+	return out
+}
+
+// JobStatus is the polled view of one solve job.
+type JobStatus struct {
+	ID     string       `json:"id"`
+	State  string       `json:"state"`
+	Result *SolveResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// errorResponse is the uniform error body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func validateRef(w WorkloadRef) error {
+	if _, ok := workload.Queries()[strings.ToUpper(strings.TrimSpace(w.Query))]; !ok {
+		var names []string
+		for k := range workload.Queries() {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		return fmt.Errorf("unknown query %q (have %s)", w.Query, strings.Join(names, ", "))
+	}
+	if w.Repeat < 0 || w.Repeat > maxRepeat {
+		return fmt.Errorf("repeat %d out of range [0, %d]", w.Repeat, maxRepeat)
+	}
+	if w.Weight < 0 {
+		return fmt.Errorf("negative weight")
+	}
+	if w.SLOSeconds < 0 {
+		return fmt.Errorf("negative slo_seconds")
+	}
+	return nil
+}
+
+// refKey canonicalizes a workload reference for interning and cache
+// identity. The display name is excluded: it does not affect statements,
+// bindings, or costs.
+func refKey(w WorkloadRef) string {
+	n := w.Repeat
+	if n == 0 {
+		n = 1
+	}
+	return fmt.Sprintf("%sx%d|w=%.9f|slo=%.9f", strings.ToUpper(strings.TrimSpace(w.Query)), n, w.Weight, w.SLOSeconds)
+}
+
+// workloadSet interns *core.WorkloadSpec values by canonical reference,
+// backed by one lazily built database per distinct query. Interning is
+// the server's session model: every request naming the same workload gets
+// the same spec pointer and the same database, so the prepared-statement
+// cache (keyed by database + normalized SQL) and the shared cost memo
+// (keyed by spec) concentrate instead of fragmenting per request.
+type workloadSet struct {
+	env   *experiments.Env
+	mu    sync.Mutex
+	specs map[string]*core.WorkloadSpec
+}
+
+func newWorkloadSet(env *experiments.Env) *workloadSet {
+	return &workloadSet{env: env, specs: make(map[string]*core.WorkloadSpec)}
+}
+
+// spec resolves one workload reference to its interned spec, building the
+// query's database on first use.
+func (s *workloadSet) spec(ref WorkloadRef) (*core.WorkloadSpec, error) {
+	key := refKey(ref)
+	s.mu.Lock()
+	sp, ok := s.specs[key]
+	s.mu.Unlock()
+	if ok {
+		return sp, nil
+	}
+	qname := strings.ToUpper(strings.TrimSpace(ref.Query))
+	n := ref.Repeat
+	if n == 0 {
+		n = 1
+	}
+	// One database per query: env.DB serializes builds internally, and
+	// workloads over the same query share catalog, statistics, and the
+	// prepared plan spaces derived from them.
+	db, err := s.env.DB("srv-" + qname)
+	if err != nil {
+		return nil, fmt.Errorf("server: building database for %s: %w", qname, err)
+	}
+	sp = &core.WorkloadSpec{
+		Name:       fmt.Sprintf("%sx%d", qname, n),
+		Statements: workload.Repeat(qname, workload.Query(qname), n).Statements,
+		DB:         db,
+		Weight:     ref.Weight,
+		SLOSeconds: ref.SLOSeconds,
+	}
+	s.mu.Lock()
+	if cur, ok := s.specs[key]; ok {
+		sp = cur // lost an intern race; keep the winner
+	} else {
+		s.specs[key] = sp
+	}
+	s.mu.Unlock()
+	return sp, nil
+}
+
+// specs resolves a whole request's workload list.
+func (s *workloadSet) resolve(refs []WorkloadRef) ([]*core.WorkloadSpec, error) {
+	out := make([]*core.WorkloadSpec, len(refs))
+	for i, ref := range refs {
+		sp, err := s.spec(ref)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sp
+	}
+	return out, nil
+}

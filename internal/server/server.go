@@ -1,0 +1,581 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbvirt/internal/calibration"
+	"dbvirt/internal/core"
+	"dbvirt/internal/experiments"
+	"dbvirt/internal/obs"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/vm"
+	"dbvirt/internal/workload"
+)
+
+var (
+	mAdmissionReject = obs.Global.Counter("server.admission.rejected")
+	mDrainStarted    = obs.Global.Counter("server.drain.started")
+	gInflight        = obs.Global.Gauge("server.http.inflight")
+	gQueueDepth      = obs.Global.Gauge("server.queue.depth")
+)
+
+// Config parameterizes a Server. The zero value is completed by New with
+// the defaults noted per field.
+type Config struct {
+	// Scale selects the workload database scale: "tiny", "small", or
+	// "experiment" (default "small"). Ignored when Env is set.
+	Scale string
+	// Env overrides the experiment environment (tests inject a prebuilt
+	// one so several servers share databases).
+	Env *experiments.Env
+	// Grid answers calibration lookups and backs the default what-if
+	// model. Required unless both Model is set and /v1/calibration/grid
+	// may 404.
+	Grid *calibration.Grid
+	// Model overrides the cost model (tests inject slow or failing
+	// models). Default: a SharedCostModel over WhatIfModel{Grid}.
+	Model core.CostModel
+	// MaxInflight bounds concurrently executing what-if sweeps (leaders
+	// only — coalesced joiners don't hold slots). Default GOMAXPROCS.
+	MaxInflight int
+	// MaxQueue bounds sweeps waiting for a slot; beyond it requests are
+	// rejected with 429. Default 4*MaxInflight.
+	MaxQueue int
+	// JobWorkers is the solve worker-pool size (default 2).
+	JobWorkers int
+	// JobQueue bounds queued-but-not-running solve jobs (default 16);
+	// beyond it submissions are rejected with 429.
+	JobQueue int
+	// MaxJobs bounds the retained job table; oldest terminal jobs are
+	// evicted first (default 1024).
+	MaxJobs int
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 30s); MaxTimeout caps what a request may ask for
+	// (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s,
+	// rounded up to whole seconds).
+	RetryAfter time.Duration
+	// CoalesceMemo bounds the completed-sweep memo (default 256 entries;
+	// negative disables memoization, keeping only in-flight coalescing).
+	CoalesceMemo int
+	// Parallelism is handed to the solvers and the environment; 0 means
+	// GOMAXPROCS.
+	Parallelism int
+	// Obs receives spans and logs; nil disables both (metrics are always
+	// recorded against the process-global registry).
+	Obs *obs.Telemetry
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Env == nil {
+		switch c.Scale {
+		case "", "small":
+			c.Env = experiments.QuickEnv()
+		case "tiny":
+			c.Env = experiments.NewEnv(workload.TinyScale(), vm.DefaultMachineConfig())
+		case "experiment":
+			c.Env = experiments.DefaultEnv()
+		default:
+			return fmt.Errorf("server: unknown scale %q (want tiny, small, or experiment)", c.Scale)
+		}
+	}
+	if c.Model == nil {
+		if c.Grid == nil {
+			return fmt.Errorf("server: need a calibration grid (or an explicit model)")
+		}
+		c.Model = core.NewSharedCostModel(&core.WhatIfModel{Grid: c.Grid}, specCacheKey)
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxInflight
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueue <= 0 {
+		c.JobQueue = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.CoalesceMemo == 0 {
+		c.CoalesceMemo = 256
+	}
+	return nil
+}
+
+// specCacheKey is the shared cost memo's workload identity: the spec
+// name is the interned canonical QUERYxN form, and specs live on
+// per-query databases, so name + weight + SLO determines the cost.
+func specCacheKey(w *core.WorkloadSpec) string {
+	return fmt.Sprintf("%s|w=%.9f|slo=%.9f", w.Name, w.Weight, w.SLOSeconds)
+}
+
+// Server is the vdtuned daemon: handlers, shared session state, and the
+// drain machinery. Create with New, expose via Handler, stop with Drain.
+type Server struct {
+	cfg  Config
+	wl   *workloadSet
+	col  *coalescer
+	jobs *jobManager
+	lim  *limiter
+	mux  *http.ServeMux
+
+	draining atomic.Bool
+	inflight sync.WaitGroup // tracked /v1/* requests, for drain
+}
+
+// New builds a Server from cfg (see Config for defaults).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	cfg.Env.Parallelism = cfg.Parallelism
+	if cfg.Env.Obs == nil {
+		cfg.Env.Obs = cfg.Obs
+	}
+	s := &Server{
+		cfg: cfg,
+		col: newCoalescer(cfg.CoalesceMemo),
+		lim: newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+	}
+	s.wl = newWorkloadSet(cfg.Env)
+	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueue, cfg.MaxJobs, s.runSolve)
+	s.routes()
+	return s, nil
+}
+
+// Prewarm builds the databases and interned specs for the named queries
+// ahead of traffic, so first requests don't pay the build.
+func (s *Server) Prewarm(queries []string) error {
+	for _, q := range queries {
+		if _, err := s.wl.spec(WorkloadRef{Query: q}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/whatif", s.instrument("whatif", s.track(s.handleWhatIf)))
+	s.mux.Handle("POST /v1/solve", s.instrument("solve", s.track(s.handleSolve)))
+	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.track(s.handleJobCancel)))
+	s.mux.Handle("GET /v1/calibration/grid", s.instrument("grid", s.handleGrid))
+	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
+	s.mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Global.WriteJSON(w)
+	})
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// request counter (server.http.<route>.seconds / .count) plus the
+// process-wide in-flight gauge.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	count := obs.Global.Counter("server.http." + route + ".count")
+	hist := obs.Global.Histogram("server.http." + route + ".seconds")
+	var inflight atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		count.Inc()
+		gInflight.Set(float64(inflight.Add(1)))
+		start := time.Now()
+		defer func() {
+			hist.ObserveSince(start)
+			gInflight.Set(float64(inflight.Add(-1)))
+		}()
+		h(w, r)
+	})
+}
+
+// track rejects work-accepting requests once draining and otherwise
+// registers them with the drain wait group. Read-only endpoints (job
+// polls, grid lookups, health, metrics) stay available during drain so
+// clients can collect results.
+func (s *Server) track(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "draining: not accepting new work")
+			return
+		}
+		s.inflight.Add(1)
+		defer s.inflight.Done()
+		h(w, r)
+	}
+}
+
+// requestCtx derives the request's working context from its deadline
+// parameters: timeoutMS if given (capped at MaxTimeout), else the server
+// default. The HTTP request context is the parent, so a disconnected
+// client cancels the work.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
+	var req WhatIfRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+
+	body, err := s.col.do(ctx, req.coalesceKey(), func() ([]byte, error) {
+		release, ok := s.lim.acquire(ctx)
+		if !ok {
+			return nil, errTooBusy
+		}
+		defer release()
+		return s.computeWhatIf(ctx, &req)
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// computeWhatIf prices the request's cost matrix. The response bytes are
+// a deterministic function of the request, which is what entitles the
+// coalescer to replay them for identical requests.
+func (s *Server) computeWhatIf(ctx context.Context, req *WhatIfRequest) ([]byte, error) {
+	specs, err := s.wl.resolve(req.Workloads)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	allocs := make([]vm.Shares, len(req.Allocations))
+	for i, a := range req.Allocations {
+		allocs[i] = a.shares()
+	}
+	costs, err := experiments.CostMatrix(ctx, s.cfg.Model, specs, allocs)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(WhatIfResponse{Model: s.cfg.Model.Name(), Costs: costs})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	req.applyDefaults()
+	if err := req.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// Resolve workloads synchronously so malformed problems fail with 400
+	// here, not as a failed job later; this also prices the database
+	// build before the job occupies a worker.
+	if _, err := s.wl.resolve(req.Workloads); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j, err := s.jobs.submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		mAdmissionReject.Inc()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "job queue full")
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(SolveAccepted{JobID: j.id})
+}
+
+// runSolve executes one queued job; it is the jobManager's run callback.
+func (s *Server) runSolve(ctx context.Context, j *job) (*SolveResult, error) {
+	specs, err := s.wl.resolve(j.req.Workloads)
+	if err != nil {
+		return nil, err
+	}
+	resources := make([]vm.Resource, len(j.req.Resources))
+	for i, rs := range j.req.Resources {
+		if resources[i], err = parseResource(rs); err != nil {
+			return nil, err
+		}
+	}
+	problem := &core.Problem{
+		Workloads:   specs,
+		Resources:   resources,
+		Step:        j.req.Step,
+		Objective:   core.Objective{SLOPenalty: j.req.SLOPenalty},
+		Parallelism: s.cfg.Parallelism,
+		Obs:         s.cfg.Obs,
+	}
+	var solve func(context.Context, *core.Problem, core.CostModel) (*core.Result, error)
+	switch j.req.Algo {
+	case "dp":
+		solve = core.SolveDP
+	case "greedy":
+		solve = core.SolveGreedy
+	case "exhaustive":
+		solve = core.SolveExhaustive
+	default:
+		return nil, fmt.Errorf("unknown algo %q", j.req.Algo)
+	}
+	res, err := solve(ctx, problem, s.cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return solveResult(res), nil
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.jobs.cancelJob(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// GridResponse answers one calibration lookup: the parameter vector at
+// the requested allocation, and whether it was an exact lattice point or
+// a trilinear interpolation.
+type GridResponse struct {
+	Exact  bool             `json:"exact"`
+	Params optimizer.Params `json:"params"`
+	Shares SharesDTO        `json:"shares"`
+}
+
+func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Grid == nil {
+		writeError(w, http.StatusNotFound, "no calibration grid loaded")
+		return
+	}
+	q := r.URL.Query()
+	var sh SharesDTO
+	for _, f := range []struct {
+		name string
+		dst  *float64
+	}{{"cpu", &sh.CPU}, {"mem", &sh.Memory}, {"io", &sh.IO}} {
+		v, err := strconv.ParseFloat(q.Get(f.name), 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad or missing %q parameter", f.name))
+			return
+		}
+		*f.dst = v
+	}
+	if err := sh.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	p, exact := s.cfg.Grid.Lookup(sh.shares())
+	if !exact {
+		p = s.cfg.Grid.Interpolate(sh.shares())
+	}
+	writeJSON(w, http.StatusOK, GridResponse{Exact: exact, Params: p, Shares: sh})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Drain gracefully stops the server's work: new work-accepting requests
+// are rejected with 503 (polling and health endpoints stay up), accepted
+// solve jobs run to completion, and in-flight synchronous requests
+// finish. If ctx expires first, still-running jobs are canceled (they
+// terminate as canceled, never silently dropped) and ctx's error is
+// returned. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	if !s.draining.Swap(true) {
+		mDrainStarted.Inc()
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Info("drain started")
+		}
+	}
+	if err := s.jobs.drain(ctx); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		if s.cfg.Obs != nil {
+			s.cfg.Obs.Info("drain complete")
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// --- admission control -------------------------------------------------
+
+// errTooBusy maps to 429 + Retry-After.
+var errTooBusy = errors.New("server: saturated, try again later")
+
+// badRequestError marks a compute-path failure as the caller's fault
+// (400 rather than 500).
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+
+// limiter admits at most maxInflight concurrent executions with at most
+// maxQueue more waiting; anything beyond is rejected immediately — the
+// bounded-worker-pool half of admission control (jobs have their own
+// bounded queue). The waiting count is exported as server.queue.depth.
+type limiter struct {
+	slots    chan struct{}
+	pressure atomic.Int64 // executing + waiting
+	max      int64        // maxInflight + maxQueue
+	inflight int64        // == cap(slots)
+}
+
+func newLimiter(maxInflight, maxQueue int) *limiter {
+	return &limiter{
+		slots:    make(chan struct{}, maxInflight),
+		max:      int64(maxInflight + maxQueue),
+		inflight: int64(maxInflight),
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded queue if all
+// slots are busy. ok is false when the queue is full (reject with 429)
+// or ctx died while waiting.
+func (l *limiter) acquire(ctx context.Context) (release func(), ok bool) {
+	p := l.pressure.Add(1)
+	if p > l.max {
+		l.pressure.Add(-1)
+		mAdmissionReject.Inc()
+		return nil, false
+	}
+	l.setQueueGauge(p)
+	select {
+	case l.slots <- struct{}{}:
+		return func() {
+			<-l.slots
+			l.setQueueGauge(l.pressure.Add(-1))
+		}, true
+	case <-ctx.Done():
+		l.setQueueGauge(l.pressure.Add(-1))
+		return nil, false
+	}
+}
+
+// setQueueGauge publishes the number of sweeps waiting for a slot.
+func (l *limiter) setQueueGauge(pressure int64) {
+	waiting := pressure - l.inflight
+	if waiting < 0 {
+		waiting = 0
+	}
+	gQueueDepth.Set(float64(waiting))
+}
+
+// --- JSON plumbing ------------------------------------------------------
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// writeComputeError maps a what-if computation failure onto its status
+// code: saturation → 429 (+Retry-After), caller mistakes → 400, expired
+// deadlines → 504, everything else → 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	var bad badRequestError
+	switch {
+	case errors.Is(err, errTooBusy):
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request canceled")
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
