@@ -44,6 +44,10 @@ type Table struct {
 	Heap    *storage.HeapFile
 	Indexes []*Index
 	Stats   *TableStats // nil until Analyze
+	// Blocks caches the columnar (zone-mapped) form of heap pages for
+	// vectorized scans. Cleared on every catalog invalidation. May be nil
+	// on hand-built tables; scans then decode pages without caching.
+	Blocks *storage.BlockCache
 }
 
 // IndexOn returns the index whose key is the given column, or nil.
@@ -132,9 +136,17 @@ func New() *Catalog {
 // plans key them by this version and rebuild on mismatch.
 func (c *Catalog) Version() uint64 { return c.version.Load() }
 
-// Invalidate bumps the catalog version. DDL entry points call it
+// Invalidate bumps the catalog version and drops cached columnar blocks,
+// whose contents may be stale after data changes. DDL entry points call it
 // internally; the engine calls it after ANALYZE and DML.
-func (c *Catalog) Invalidate() { c.version.Add(1) }
+func (c *Catalog) Invalidate() {
+	c.version.Add(1)
+	c.mu.RLock()
+	for _, t := range c.tables {
+		t.Blocks.Clear()
+	}
+	c.mu.RUnlock()
+}
 
 // CreateTable registers a new table backed by a fresh heap file.
 func (c *Catalog) CreateTable(disk *storage.DiskManager, name string, schema Schema) (*Table, error) {
@@ -159,6 +171,7 @@ func (c *Catalog) CreateTable(disk *storage.DiskManager, name string, schema Sch
 		Name:   name,
 		Schema: schema,
 		Heap:   storage.NewHeapFile(disk.CreateFile()),
+		Blocks: storage.NewBlockCache(),
 	}
 	c.tables[key] = t
 	c.version.Add(1)
@@ -174,7 +187,7 @@ func (c *Catalog) RestoreTable(name string, schema Schema, heapFID storage.FileI
 	if _, ok := c.tables[key]; ok {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
-	t := &Table{Name: name, Schema: schema, Heap: storage.NewHeapFile(heapFID)}
+	t := &Table{Name: name, Schema: schema, Heap: storage.NewHeapFile(heapFID), Blocks: storage.NewBlockCache()}
 	c.tables[key] = t
 	c.version.Add(1)
 	return t, nil

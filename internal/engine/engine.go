@@ -42,6 +42,10 @@ type Config struct {
 	// WorkMemFrac is the fraction of VM memory given to each sort/hash
 	// operation (work_mem).
 	WorkMemFrac float64
+	// Executor selects the execution engine: executor.ModeBatch (the
+	// vectorized default) or executor.ModeTuple (row at a time). The two
+	// charge bit-identical simulated costs.
+	Executor executor.Mode
 }
 
 // DefaultConfig mirrors a conventional analytics-tuned DBMS split: 75%
@@ -93,7 +97,7 @@ func workMemFor(v *vm.VM, cfg Config) int64 {
 
 // execContext builds the executor context for this session.
 func (s *Session) execContext() *executor.Context {
-	return &executor.Context{Pool: s.Pool, VM: s.VM, WorkMemBytes: s.Params.WorkMemBytes}
+	return &executor.Context{Pool: s.Pool, VM: s.VM, WorkMemBytes: s.Params.WorkMemBytes, Mode: s.Config.Executor}
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, CREATE INDEX, INSERT,

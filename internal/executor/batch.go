@@ -1,0 +1,273 @@
+package executor
+
+import (
+	"fmt"
+
+	"dbvirt/internal/obs"
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/types"
+	"dbvirt/internal/vm"
+)
+
+// Mode selects the executor implementation.
+type Mode int
+
+const (
+	// ModeBatch (the default) runs queries through the vectorized executor:
+	// operators exchange column-vector batches, sequential scans read
+	// columnar page blocks and skip per-row work on pages whose zone maps
+	// prove the filter's outcome. VM cost charges are issued per batch but
+	// are bit-identical in total to ModeTuple, because every charge is an
+	// exact integer counter increment and buffer-pool events happen in the
+	// same order.
+	ModeBatch Mode = iota
+	// ModeTuple runs the original row-at-a-time Volcano executor.
+	ModeTuple
+)
+
+var (
+	mBatchBatches   = obs.Global.Counter("executor.batch.batches")
+	mBatchRows      = obs.Global.Counter("executor.batch.rows")
+	mPagesSkipped   = obs.Global.Counter("executor.batch.pages_skipped")
+	mBlocksDecoded  = obs.Global.Counter("executor.batch.blocks_decoded")
+	mBlockCacheHits = obs.Global.Counter("executor.batch.block_cache_hits")
+)
+
+// batchIterator is the vectorized operator interface. NextBatch returns a
+// non-empty batch or ok=false at end of stream. Returned batches (and any
+// column vectors they alias) are valid until the next NextBatch or Close
+// call. The batch executor assumes results are drained: operators may do
+// work ahead of what has been consumed, and totals converge once the root
+// is exhausted. Plans that can legitimately stop early (LIMIT) run their
+// whole subtree on the row-at-a-time executor behind an adapter, so
+// early-stop charge semantics are exactly the legacy ones.
+type batchIterator interface {
+	NextBatch() (*plan.Batch, bool, error)
+	Close()
+}
+
+// vbuild constructs the batch operator tree for a plan node. Vectorized
+// operators are wrapped with a statBatch when statistics are collected;
+// nodes that run as legacy subtrees get their statistics from the legacy
+// statIter wrapping inside build().
+func vbuild(n optimizer.Node, ctx *Context) (batchIterator, error) {
+	var (
+		it  batchIterator
+		err error
+	)
+	switch x := n.(type) {
+	case *optimizer.SeqScan:
+		it, err = newVSeqScan(x, ctx)
+	case *optimizer.SubqueryScan:
+		it, err = newVSubquery(x, ctx)
+	case *optimizer.FilterNode:
+		it, err = newVFilter(x, ctx)
+	case *optimizer.Project:
+		it, err = newVProject(x, ctx)
+	case *optimizer.Distinct:
+		it, err = newVDistinct(x, ctx)
+	case *optimizer.Sort:
+		it, err = newVSort(x, ctx)
+	case *optimizer.HashAgg:
+		it, err = newVHashAgg(x, ctx)
+	case *optimizer.HashJoin:
+		it, err = newVHashJoin(x, ctx)
+	case *optimizer.NLJoin:
+		it, err = newVNLJoin(x, ctx)
+	case *optimizer.IndexScan, *optimizer.MergeJoin, *optimizer.IndexNLJoin, *optimizer.Limit:
+		// These run as legacy row iterators (index access is inherently
+		// per-tuple; LIMIT needs exact early-stop semantics). build()
+		// already attaches per-node statistics to the whole subtree, so the
+		// adapter is not wrapped again.
+		inner, aerr := build(n, ctx)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &batchAdapter{it: inner, width: n.Width()}, nil
+	default:
+		return nil, fmt.Errorf("executor: unknown plan node %T", n)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Stats != nil {
+		it = &statBatch{inner: it, stats: ctx.Stats.register(n), vm: ctx.VM}
+	}
+	return it, nil
+}
+
+// batchAdapter exposes a legacy row iterator as a batch source, buffering
+// up to BatchSize rows per call.
+type batchAdapter struct {
+	it    iterator
+	width int
+	out   plan.Batch
+	done  bool
+}
+
+func (a *batchAdapter) NextBatch() (*plan.Batch, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	a.out.Reset(a.width)
+	for a.out.N < plan.BatchSize {
+		row, ok, err := a.it.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			a.done = true
+			break
+		}
+		a.out.AppendRow(row)
+	}
+	if a.out.N == 0 {
+		return nil, false, nil
+	}
+	return &a.out, true, nil
+}
+
+func (a *batchAdapter) Close() { a.it.Close() }
+
+// statBatch attributes per-node rows and VM usage for EXPLAIN ANALYZE in
+// batch mode. Row counts are exact — the full batch length is added, never
+// a batch-granularity approximation — so `rows=` matches the tuple
+// executor; "actual time" is attributed at batch granularity.
+type statBatch struct {
+	inner batchIterator
+	stats *NodeStats
+	vm    *vm.VM
+}
+
+func (s *statBatch) NextBatch() (*plan.Batch, bool, error) {
+	before := s.vm.Snapshot()
+	b, ok, err := s.inner.NextBatch()
+	s.stats.Usage = s.stats.Usage.Add(s.vm.Since(before))
+	if ok {
+		s.stats.Rows += int64(b.Len())
+	}
+	return b, ok, err
+}
+
+func (s *statBatch) Close() { s.inner.Close() }
+
+// colPruner is implemented by batch operators that can skip materializing
+// output columns no consumer reads. needed[i]==false promises the consumer
+// never reads column i of this operator's output; the operator may leave
+// that column's vector empty (Vec.Get then yields NULL). Pruning changes
+// no charges and no live row counts — only which column values are
+// physically materialized.
+type colPruner interface{ pruneOutput(needed []bool) }
+
+func (s *statBatch) pruneOutput(needed []bool) {
+	if p, ok := s.inner.(colPruner); ok {
+		p.pruneOutput(needed)
+	}
+}
+
+// batchRowIter adapts the batch tree back to the row Result interface.
+type batchRowIter struct {
+	in  batchIterator
+	b   *plan.Batch
+	k   int
+	out plan.Row
+}
+
+func (r *batchRowIter) Next() (plan.Row, bool, error) {
+	for {
+		if r.b != nil && r.k < r.b.Len() {
+			i := r.b.RowIdx(r.k)
+			r.k++
+			if cap(r.out) < len(r.b.Cols) {
+				r.out = make(plan.Row, len(r.b.Cols))
+			}
+			r.out = r.out[:len(r.b.Cols)]
+			r.b.ReadRow(i, r.out)
+			return r.out, true, nil
+		}
+		b, ok, err := r.in.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		mBatchBatches.Inc()
+		mBatchRows.Add(int64(b.Len()))
+		r.b, r.k = b, 0
+	}
+}
+
+func (r *batchRowIter) Close() { r.in.Close() }
+
+// growVals returns a value slice of length n, reusing capacity.
+func growVals(s []types.Value, n int) []types.Value {
+	if cap(s) < n {
+		return make([]types.Value, n)
+	}
+	return s[:n]
+}
+
+// growSel returns an int slice of length n, reusing capacity.
+func growSel(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// vecConjuncts is a compiled conjunct cascade over batches. Each conjunct
+// is evaluated only on the rows that survived the previous ones, so the
+// per-conjunct charges match the scalar evaluator's early exit exactly.
+type vecConjuncts struct {
+	evs  []plan.VecEval
+	vals []types.Value
+}
+
+func compileVecConjuncts(conjs []plan.Conjunct, lay plan.Layout, sink plan.CPUSink) (*vecConjuncts, error) {
+	vc := &vecConjuncts{evs: make([]plan.VecEval, len(conjs))}
+	for i, c := range conjs {
+		ev, err := plan.CompileVec(c.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		vc.evs[i] = ev
+	}
+	return vc, nil
+}
+
+// apply narrows sel (in place) to the rows passing every conjunct and
+// returns the surviving prefix of sel.
+func (vc *vecConjuncts) apply(b *plan.Batch, sel []int) ([]int, error) {
+	cur := sel
+	for _, ev := range vc.evs {
+		if len(cur) == 0 {
+			return cur, nil
+		}
+		vc.vals = growVals(vc.vals, len(cur))
+		if err := ev(b, cur, vc.vals); err != nil {
+			return nil, err
+		}
+		kept := 0
+		for k := range cur {
+			if plan.Truthy(vc.vals[k]) {
+				cur[kept] = cur[k]
+				kept++
+			}
+		}
+		cur = cur[:kept]
+	}
+	return cur, nil
+}
+
+// liveSel returns the batch's live physical row indexes as a writable
+// slice: b.Sel when set, otherwise 0..N-1 materialized into scratch.
+func liveSel(b *plan.Batch, scratch *[]int) []int {
+	if b.Sel != nil {
+		return b.Sel
+	}
+	s := growSel(*scratch, b.N)
+	for i := range s {
+		s[i] = i
+	}
+	*scratch = s
+	return s
+}

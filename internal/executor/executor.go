@@ -53,6 +53,9 @@ type Context struct {
 	// Stats, when non-nil, collects per-node execution statistics for
 	// EXPLAIN ANALYZE.
 	Stats *StatsCollector
+	// Mode selects the vectorized (default) or tuple-at-a-time executor.
+	// Both charge bit-identical costs to the VM.
+	Mode Mode
 }
 
 // iterator is the Volcano operator interface.
@@ -103,7 +106,18 @@ func cloneRow(r plan.Row) plan.Row { return append(plan.Row(nil), r...) }
 
 // Run executes a physical plan and returns a streaming result.
 func Run(p *optimizer.Plan, ctx *Context) (*Result, error) {
-	it, err := build(p.Root, ctx)
+	var it iterator
+	var err error
+	if ctx.Mode == ModeBatch {
+		var bit batchIterator
+		bit, err = vbuild(p.Root, ctx)
+		if err != nil {
+			return nil, err
+		}
+		it = &batchRowIter{in: bit}
+	} else {
+		it, err = build(p.Root, ctx)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +228,13 @@ func rowBytes(r plan.Row) int64 {
 // distinctly so group-by treats them as one group; join code must check
 // for NULL keys separately (NULL never matches in joins).
 func encodeKey(vals []types.Value) string {
-	buf := make([]byte, 0, 16*len(vals))
+	return string(encodeKeyAppend(make([]byte, 0, 16*len(vals)), vals))
+}
+
+// encodeKeyAppend is the allocation-free form of encodeKey: it appends the
+// byte encoding to buf, letting callers look up map entries via
+// m[string(buf)] without materializing a string per row.
+func encodeKeyAppend(buf []byte, vals []types.Value) []byte {
 	for _, v := range vals {
 		buf = append(buf, byte(v.Kind))
 		switch v.Kind {
@@ -230,7 +250,7 @@ func encodeKey(vals []types.Value) string {
 			buf = appendUint(buf, uint64(v.I))
 		}
 	}
-	return string(buf)
+	return buf
 }
 
 func appendUint(b []byte, u uint64) []byte {

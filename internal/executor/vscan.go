@@ -1,0 +1,707 @@
+package executor
+
+import (
+	"dbvirt/internal/optimizer"
+	"dbvirt/internal/plan"
+	"dbvirt/internal/sql"
+	"dbvirt/internal/storage"
+	"dbvirt/internal/types"
+)
+
+// Zone-analyzable conjunct forms. For these the per-row CPU charge of an
+// evaluation is statically known, which is what lets a page's predicate
+// work be charged in bulk when the zone map proves its outcome.
+const (
+	zfNone    = iota // not analyzable
+	zfConst          // constant conjunct
+	zfCmp            // <col> cmp <const> (operands possibly flipped)
+	zfBetween        // <col> [NOT] BETWEEN <const> AND <const>
+)
+
+type zoneConj struct {
+	form      int
+	ops       float64 // charge per row for one evaluation of this conjunct
+	col       int     // column offset (zfCmp, zfBetween)
+	op        sql.BinaryOp
+	k, lo, hi types.Value
+	notB      bool
+	constPass bool // zfConst: conjunct truthy
+}
+
+func flipCmp(op sql.BinaryOp) sql.BinaryOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	default:
+		return op
+	}
+}
+
+// analyzeZoneConj classifies one pushed-down conjunct for zone-map
+// reasoning. Unrecognized shapes are zfNone and end the analyzable prefix.
+func analyzeZoneConj(e plan.Expr, lay plan.Layout) zoneConj {
+	switch x := e.(type) {
+	case *plan.Const:
+		return zoneConj{form: zfConst, constPass: plan.Truthy(x.Val)}
+	case *plan.Bin:
+		if !x.Op.Comparison() {
+			return zoneConj{}
+		}
+		if cr, ok := x.L.(*plan.ColRef); ok {
+			if c, ok2 := x.R.(*plan.Const); ok2 {
+				if off, err := lay.Offset(cr); err == nil {
+					return zoneConj{form: zfCmp, ops: plan.OpsPerOperator, col: off, op: x.Op, k: c.Val}
+				}
+			}
+		}
+		if c, ok := x.L.(*plan.Const); ok {
+			if cr, ok2 := x.R.(*plan.ColRef); ok2 {
+				if off, err := lay.Offset(cr); err == nil {
+					return zoneConj{form: zfCmp, ops: plan.OpsPerOperator, col: off, op: flipCmp(x.Op), k: c.Val}
+				}
+			}
+		}
+	case *plan.Between:
+		cr, ok := x.E.(*plan.ColRef)
+		if !ok {
+			return zoneConj{}
+		}
+		lo, ok1 := x.Lo.(*plan.Const)
+		hi, ok2 := x.Hi.(*plan.Const)
+		if !ok1 || !ok2 {
+			return zoneConj{}
+		}
+		if off, err := lay.Offset(cr); err == nil {
+			return zoneConj{form: zfBetween, ops: 2 * plan.OpsPerOperator, col: off, lo: lo.Val, hi: hi.Val, notB: x.NotB}
+		}
+	}
+	return zoneConj{}
+}
+
+// zoneAllFail reports whether the conjunct provably evaluates to not-true
+// for every live row of a page with the given zone.
+func zoneAllFail(zc *zoneConj, z *storage.Zone) bool {
+	switch zc.form {
+	case zfConst:
+		return !zc.constPass
+	case zfCmp:
+		if zc.k.IsNull() || z.NonNulls == 0 {
+			return true // every evaluation yields NULL, which is not true
+		}
+		if !z.Ordered {
+			return false
+		}
+		cMin, ok1 := types.Compare(z.Min, zc.k)
+		cMax, ok2 := types.Compare(z.Max, zc.k)
+		if !ok1 || !ok2 {
+			return false
+		}
+		switch zc.op {
+		case sql.OpEq:
+			return cMin > 0 || cMax < 0
+		case sql.OpNe:
+			return cMin == 0 && cMax == 0
+		case sql.OpLt:
+			return cMin >= 0
+		case sql.OpLe:
+			return cMin > 0
+		case sql.OpGt:
+			return cMax <= 0
+		case sql.OpGe:
+			return cMax < 0
+		}
+		return false
+	case zfBetween:
+		if zc.lo.IsNull() || zc.hi.IsNull() || z.NonNulls == 0 {
+			return true
+		}
+		if !z.Ordered {
+			return false
+		}
+		cMaxLo, ok1 := types.Compare(z.Max, zc.lo)
+		cMinHi, ok2 := types.Compare(z.Min, zc.hi)
+		cMinLo, ok3 := types.Compare(z.Min, zc.lo)
+		cMaxHi, ok4 := types.Compare(z.Max, zc.hi)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false
+		}
+		inside := cMinLo >= 0 && cMaxHi <= 0  // all values within [lo, hi]
+		outside := cMaxLo < 0 || cMinHi > 0   // all values outside [lo, hi]
+		if z.Nulls > 0 {
+			// NULL rows fail BETWEEN but pass NOT BETWEEN only as NULL
+			// (not true), so they fail either form; the non-null rows
+			// still need the range proof below.
+		}
+		if zc.notB {
+			return inside
+		}
+		return outside
+	}
+	return false
+}
+
+// zoneAllPass reports whether the conjunct provably evaluates to true for
+// every live row of the page — the condition for the analyzable prefix to
+// extend past it.
+func zoneAllPass(zc *zoneConj, z *storage.Zone) bool {
+	switch zc.form {
+	case zfConst:
+		return zc.constPass
+	case zfCmp:
+		if z.Nulls > 0 || z.NonNulls == 0 || zc.k.IsNull() || !z.Ordered {
+			return false
+		}
+		cMin, ok1 := types.Compare(z.Min, zc.k)
+		cMax, ok2 := types.Compare(z.Max, zc.k)
+		if !ok1 || !ok2 {
+			return false
+		}
+		switch zc.op {
+		case sql.OpEq:
+			return cMin == 0 && cMax == 0
+		case sql.OpNe:
+			return cMax < 0 || cMin > 0
+		case sql.OpLt:
+			return cMax < 0
+		case sql.OpLe:
+			return cMax <= 0
+		case sql.OpGt:
+			return cMin > 0
+		case sql.OpGe:
+			return cMin >= 0
+		}
+		return false
+	case zfBetween:
+		if z.Nulls > 0 || z.NonNulls == 0 || zc.lo.IsNull() || zc.hi.IsNull() || !z.Ordered {
+			return false
+		}
+		cMinLo, ok1 := types.Compare(z.Min, zc.lo)
+		cMaxHi, ok2 := types.Compare(z.Max, zc.hi)
+		cMaxLo, ok3 := types.Compare(z.Max, zc.lo)
+		cMinHi, ok4 := types.Compare(z.Min, zc.hi)
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false
+		}
+		inside := cMinLo >= 0 && cMaxHi <= 0
+		outside := cMaxLo < 0 || cMinHi > 0
+		if zc.notB {
+			return outside
+		}
+		return inside
+	}
+	return false
+}
+
+// vSeqScan is the vectorized sequential scan. Each NextBatch pins one heap
+// page (the same Fetch/Unpin sequence as the tuple scan), reads its cached
+// columnar block, and either:
+//
+//   - skips the page: if the zone maps prove that every live row passes
+//     conjuncts 0..j-1 and fails conjunct j, the exact CPU the tuple scan
+//     would have spent is charged in bulk (rows × (OpsPerTuple + the
+//     prefix's evaluation charges)) and no per-row work happens; or
+//   - emits one batch for the page: OpsPerTuple per live row plus the
+//     vectorized conjunct cascade, whose charges mirror scalar early exit.
+//
+// Skipping is charge-transparent: the page is still fetched (identical
+// simulated I/O and buffer state); only the host-side row work disappears.
+type vSeqScan struct {
+	ctx    *Context
+	node   *optimizer.SeqScan
+	pages  uint32
+	pageNo uint32
+	pinned bool
+	id     storage.PageID
+
+	conj    *vecConjuncts
+	zones   []zoneConj
+	verd    []int8
+	rowPred func(plan.Row) (bool, error) // for irregular blocks
+
+	b       plan.Batch
+	selBuf  []int
+	err     error
+	irrRows []plan.Row
+	irrIdx  int
+	irrOut  plan.Batch
+	closed  bool
+}
+
+func newVSeqScan(n *optimizer.SeqScan, ctx *Context) (batchIterator, error) {
+	conj, err := compileVecConjuncts(n.Filter, n.Layout(), ctx.VM)
+	if err != nil {
+		return nil, err
+	}
+	rowPred, err := compileConjuncts(n.Filter, n.Layout(), ctx.VM)
+	if err != nil {
+		return nil, err
+	}
+	zones := make([]zoneConj, len(n.Filter))
+	for i, c := range n.Filter {
+		zones[i] = analyzeZoneConj(c.E, n.Layout())
+	}
+	return &vSeqScan{
+		ctx:     ctx,
+		node:    n,
+		pages:   ctx.Pool.NumPages(n.Rel.Table.Heap.FileID()),
+		conj:    conj,
+		zones:   zones,
+		rowPred: rowPred,
+	}, nil
+}
+
+// block returns the columnar form of the pinned page, from the table's
+// block cache when possible.
+func (s *vSeqScan) block(data *storage.PageData) *storage.ColBlock {
+	cache := s.node.Rel.Table.Blocks
+	if blk := cache.Get(s.pageNo); blk != nil {
+		mBlockCacheHits.Inc()
+		return blk
+	}
+	blk := storage.BuildColBlock(storage.NewSlottedPage(data))
+	mBlocksDecoded.Inc()
+	cache.Put(s.pageNo, blk)
+	return blk
+}
+
+// Per-page conjunct verdicts from the zone maps.
+const (
+	vUnknown = int8(iota) // must be evaluated row by row
+	vAllPass              // provably true for every live row
+	vAllFail              // provably not-true for every live row
+)
+
+// pageVerdicts classifies every analyzable conjunct against the page's
+// zones. Verdicts are usable at any cascade position: a decided conjunct's
+// evaluation is replaced by its exact bulk charge (the per-row cost of
+// these forms is statically known), so the cascade's totals stay
+// bit-identical to scalar evaluation.
+func (s *vSeqScan) pageVerdicts(blk *storage.ColBlock) []int8 {
+	if cap(s.verd) < len(s.zones) {
+		s.verd = make([]int8, len(s.zones))
+	}
+	s.verd = s.verd[:len(s.zones)]
+	for i := range s.zones {
+		s.verd[i] = vUnknown
+		zc := &s.zones[i]
+		if zc.form == zfNone || blk.Zones == nil {
+			continue
+		}
+		var z *storage.Zone
+		if zc.form != zfConst {
+			if zc.col >= len(blk.Zones) {
+				continue
+			}
+			z = &blk.Zones[zc.col]
+		}
+		if zoneAllFail(zc, z) {
+			s.verd[i] = vAllFail
+		} else if zoneAllPass(zc, z) {
+			s.verd[i] = vAllPass
+		}
+	}
+	return s.verd
+}
+
+// zoneSkip walks the conjunct verdicts from the front. If some conjunct
+// provably fails on every row while all earlier ones provably pass, the
+// whole page is skipped and the exact bulk CPU charge is returned.
+func (s *vSeqScan) zoneSkip(blk *storage.ColBlock, verd []int8) (bool, float64) {
+	if blk.Rows == 0 || len(s.zones) == 0 {
+		return false, 0
+	}
+	var prefixOps float64
+	for i, v := range verd {
+		switch v {
+		case vAllFail:
+			rows := float64(blk.Rows)
+			return true, rows * (OpsPerTuple + prefixOps + s.zones[i].ops)
+		case vAllPass:
+			prefixOps += s.zones[i].ops
+		default:
+			return false, 0
+		}
+	}
+	// Every conjunct passes on every row: not a skip, but the cascade
+	// below charges each conjunct in bulk without touching any row.
+	return false, 0
+}
+
+// applyCascade runs the conjunct cascade with zone verdicts: decided
+// conjuncts charge ops × |survivors| in bulk (exactly what evaluating them
+// on the surviving rows would charge, since every live row shares the
+// outcome) and skip evaluation; undecided ones run vectorized as usual.
+func (s *vSeqScan) applyCascade(b *plan.Batch, sel []int, verd []int8) ([]int, error) {
+	cur := sel
+	for ci, ev := range s.conj.evs {
+		if len(cur) == 0 {
+			return cur, nil
+		}
+		switch verd[ci] {
+		case vAllPass:
+			s.ctx.VM.AccountCPU(s.zones[ci].ops * float64(len(cur)))
+			continue
+		case vAllFail:
+			s.ctx.VM.AccountCPU(s.zones[ci].ops * float64(len(cur)))
+			return cur[:0], nil
+		}
+		s.conj.vals = growVals(s.conj.vals, len(cur))
+		if err := ev(b, cur, s.conj.vals); err != nil {
+			return nil, err
+		}
+		kept := 0
+		for k := range cur {
+			if plan.Truthy(s.conj.vals[k]) {
+				cur[kept] = cur[k]
+				kept++
+			}
+		}
+		cur = cur[:kept]
+	}
+	return cur, nil
+}
+
+func (s *vSeqScan) NextBatch() (*plan.Batch, bool, error) {
+	// Drain buffered rows of an irregular page first (pin still held).
+	if s.irrIdx < len(s.irrRows) {
+		row := s.irrRows[s.irrIdx]
+		s.irrIdx++
+		s.irrOut.Reset(len(row))
+		s.irrOut.AppendRow(row)
+		return &s.irrOut, true, nil
+	}
+	if s.err != nil {
+		// A decode error surfaces after the page's earlier rows have been
+		// emitted; the tuple iterator unpins before erroring, so do the
+		// same here.
+		s.unpin()
+		err := s.err
+		s.err = nil
+		s.closed = true
+		return nil, false, err
+	}
+	if s.closed {
+		return nil, false, nil
+	}
+	for {
+		if s.pinned {
+			s.unpin()
+			s.pageNo++
+		}
+		if s.pageNo >= s.pages {
+			s.closed = true
+			return nil, false, nil
+		}
+		s.id = storage.PageID{File: s.node.Rel.Table.Heap.FileID(), Page: s.pageNo}
+		data, err := s.ctx.Pool.Fetch(s.id, storage.SeqHint)
+		if err != nil {
+			s.closed = true
+			return nil, false, err
+		}
+		s.pinned = true
+		blk := s.block(data)
+		b, emitted, err := s.processBlock(blk)
+		if err != nil {
+			return nil, false, err
+		}
+		if emitted {
+			return b, true, nil
+		}
+		if s.err != nil {
+			// Error block with no rows before the bad slot: fail now, with
+			// the unpin-first ordering of the tuple scan.
+			s.unpin()
+			err := s.err
+			s.err = nil
+			s.closed = true
+			return nil, false, err
+		}
+	}
+}
+
+// processBlock charges and filters one page. It returns the page's batch
+// when any rows survive; otherwise the caller advances to the next page.
+func (s *vSeqScan) processBlock(blk *storage.ColBlock) (*plan.Batch, bool, error) {
+	if blk.Err != nil {
+		// Decode error partway through the page: emit the decoded prefix
+		// row by row (it may be irregular), then surface the error.
+		s.err = blk.Err
+		if blk.RowData != nil {
+			return s.processIrregular(blk)
+		}
+		if blk.Rows == 0 {
+			return nil, false, nil
+		}
+	}
+	if blk.RowData != nil {
+		return s.processIrregular(blk)
+	}
+	if blk.Rows == 0 {
+		return nil, false, nil
+	}
+	verd := s.pageVerdicts(blk)
+	if skip, charge := s.zoneSkip(blk, verd); skip {
+		s.ctx.VM.AccountCPU(charge)
+		mPagesSkipped.Inc()
+		return nil, false, nil
+	}
+	s.ctx.VM.AccountCPU(OpsPerTuple * float64(blk.Rows))
+	s.b.Cols = blk.Cols
+	s.b.N = blk.Rows
+	s.b.Sel = nil
+	if len(s.conj.evs) > 0 {
+		sel := liveSel(&s.b, &s.selBuf)
+		sel, err := s.applyCascade(&s.b, sel, verd)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(sel) == 0 {
+			return nil, false, nil
+		}
+		if len(sel) < blk.Rows {
+			s.b.Sel = sel
+		}
+	}
+	return &s.b, true, nil
+}
+
+// processIrregular runs the scalar path over a row-decoded page, buffering
+// the passing rows for one-per-batch emission (their widths may differ).
+func (s *vSeqScan) processIrregular(blk *storage.ColBlock) (*plan.Batch, bool, error) {
+	s.irrRows = s.irrRows[:0]
+	s.irrIdx = 0
+	for _, tup := range blk.RowData {
+		s.ctx.VM.AccountCPU(OpsPerTuple)
+		row := plan.Row(tup)
+		pass, err := s.rowPred(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			s.irrRows = append(s.irrRows, row)
+		}
+	}
+	if len(s.irrRows) == 0 {
+		return nil, false, nil
+	}
+	row := s.irrRows[s.irrIdx]
+	s.irrIdx++
+	s.irrOut.Reset(len(row))
+	s.irrOut.AppendRow(row)
+	return &s.irrOut, true, nil
+}
+
+func (s *vSeqScan) unpin() {
+	if s.pinned {
+		s.ctx.Pool.Unpin(s.id, false)
+		s.pinned = false
+	}
+}
+
+func (s *vSeqScan) Close() {
+	s.unpin()
+	s.closed = true
+}
+
+// vSubquery exposes a derived table's visible columns: a pure column
+// remap sharing the input's vectors and selection, with no copying.
+type vSubquery struct {
+	input   batchIterator
+	visible []int
+	out     plan.Batch
+}
+
+func newVSubquery(n *optimizer.SubqueryScan, ctx *Context) (batchIterator, error) {
+	input, err := vbuild(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &vSubquery{input: input, visible: n.Visible}, nil
+}
+
+func (s *vSubquery) NextBatch() (*plan.Batch, bool, error) {
+	b, ok, err := s.input.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if cap(s.out.Cols) < len(s.visible) {
+		s.out.Cols = make([]types.Vec, len(s.visible))
+	}
+	s.out.Cols = s.out.Cols[:len(s.visible)]
+	for i, idx := range s.visible {
+		s.out.Cols[i] = b.Cols[idx]
+	}
+	s.out.Sel = b.Sel
+	s.out.N = b.N
+	return &s.out, true, nil
+}
+
+func (s *vSubquery) Close() { s.input.Close() }
+
+// vFilter applies residual predicates by narrowing the selection vector.
+type vFilter struct {
+	input  batchIterator
+	conj   *vecConjuncts
+	selBuf []int
+}
+
+func newVFilter(n *optimizer.FilterNode, ctx *Context) (batchIterator, error) {
+	input, err := vbuild(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	conj, err := compileVecConjuncts(n.Conds, n.Layout(), ctx.VM)
+	if err != nil {
+		input.Close()
+		return nil, err
+	}
+	return &vFilter{input: input, conj: conj}, nil
+}
+
+func (f *vFilter) NextBatch() (*plan.Batch, bool, error) {
+	for {
+		b, ok, err := f.input.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sel := liveSel(b, &f.selBuf)
+		sel, err = f.conj.apply(b, sel)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		b.Sel = sel
+		return b, true, nil
+	}
+}
+
+func (f *vFilter) Close() { f.input.Close() }
+
+// vProject evaluates the output expressions column-wise into an owned
+// boxed batch.
+type vProject struct {
+	input  batchIterator
+	evs    []plan.VecEval
+	out    plan.Batch
+	selBuf []int
+}
+
+func newVProject(n *optimizer.Project, ctx *Context) (batchIterator, error) {
+	input, err := vbuild(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]plan.VecEval, len(n.Cols))
+	for i, c := range n.Cols {
+		evs[i], err = plan.CompileVec(c.E, n.Input.Layout(), ctx.VM)
+		if err != nil {
+			input.Close()
+			return nil, err
+		}
+	}
+	return &vProject{input: input, evs: evs}, nil
+}
+
+func (p *vProject) NextBatch() (*plan.Batch, bool, error) {
+	for {
+		b, ok, err := p.input.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sel := liveSel(b, &p.selBuf)
+		n := len(sel)
+		if n == 0 {
+			continue
+		}
+		p.out.Reset(len(p.evs))
+		for i, ev := range p.evs {
+			p.out.Cols[i].Any = growVals(p.out.Cols[i].Any, n)
+			if err := ev(b, sel, p.out.Cols[i].Any); err != nil {
+				return nil, false, err
+			}
+		}
+		p.out.N = n
+		return &p.out, true, nil
+	}
+}
+
+func (p *vProject) Close() { p.input.Close() }
+
+// vDistinct removes duplicate rows over the leading visible columns,
+// narrowing the selection to first occurrences.
+type vDistinct struct {
+	ctx     *Context
+	input   batchIterator
+	visible int
+	seen    map[string]bool
+	// intSeen is the fast path for a single KindInt column; the byte-coded
+	// keys in seen carry a kind byte, so the partitions never collide.
+	intSeen    map[int64]bool
+	keyBuf     []types.Value
+	keyScratch []byte
+	selBuf     []int
+}
+
+func newVDistinct(n *optimizer.Distinct, ctx *Context) (batchIterator, error) {
+	input, err := vbuild(n.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &vDistinct{
+		ctx: ctx, input: input, visible: n.VisibleCols,
+		seen: make(map[string]bool), intSeen: make(map[int64]bool),
+	}, nil
+}
+
+func (d *vDistinct) NextBatch() (*plan.Batch, bool, error) {
+	for {
+		b, ok, err := d.input.NextBatch()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		sel := liveSel(b, &d.selBuf)
+		// The tuple path hashes every input row, duplicates included.
+		d.ctx.VM.AccountCPU(float64(d.visible) * OpsPerHash * float64(len(sel)))
+		d.keyBuf = growVals(d.keyBuf, d.visible)
+		kept := 0
+		for _, i := range sel {
+			if d.visible == 1 {
+				if v := b.Cols[0].Get(i); v.Kind == types.KindInt {
+					if d.intSeen[v.I] {
+						continue
+					}
+					d.intSeen[v.I] = true
+					sel[kept] = i
+					kept++
+					continue
+				}
+			}
+			for c := 0; c < d.visible; c++ {
+				d.keyBuf[c] = b.Cols[c].Get(i)
+			}
+			key := encodeKeyAppend(d.keyScratch[:0], d.keyBuf)
+			d.keyScratch = key
+			if d.seen[string(key)] {
+				continue
+			}
+			d.seen[string(key)] = true
+			sel[kept] = i
+			kept++
+		}
+		if kept == 0 {
+			continue
+		}
+		b.Sel = sel[:kept]
+		return b, true, nil
+	}
+}
+
+func (d *vDistinct) Close() { d.input.Close() }

@@ -1,0 +1,882 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"dbvirt/internal/sql"
+	"dbvirt/internal/types"
+)
+
+// VecEval evaluates a compiled expression over selected rows of a batch:
+// for each k, out[k] receives the expression's value on physical row
+// sel[k]. out must have length len(sel).
+//
+// VecEval charges the sink exactly the CPU operations the row-at-a-time
+// Evaluator would charge across the same rows: per-operator charges are
+// issued once per batch as ops × rows, and AND/OR evaluate their right
+// operand only on the sub-selection where the left operand did not decide
+// the result — the vector form of the scalar short-circuit. Because every
+// charge is integer-valued and the VM accumulates exact counters, the
+// totals are bit-identical to scalar evaluation. The only divergence is on
+// error paths (a failing row may have charged the rest of its batch
+// first); errors abort the query, so no cost observation follows them.
+type VecEval func(b *Batch, sel []int, out []types.Value) error
+
+// growVals returns a value slice of length n, reusing s's capacity.
+func growVals(s []types.Value, n int) []types.Value {
+	if cap(s) < n {
+		return make([]types.Value, n)
+	}
+	return s[:n]
+}
+
+// CompileVec translates a bound expression into a vectorized evaluator
+// with the same semantics and CPU charges as Compile.
+func CompileVec(e Expr, lay Layout, sink CPUSink) (VecEval, error) {
+	switch x := e.(type) {
+	case *Const:
+		v := x.Val
+		return func(_ *Batch, sel []int, out []types.Value) error {
+			for k := range sel {
+				out[k] = v
+			}
+			return nil
+		}, nil
+
+	case *ColRef:
+		off, err := lay.Offset(x)
+		if err != nil {
+			return nil, err
+		}
+		return func(b *Batch, sel []int, out []types.Value) error {
+			if off >= len(b.Cols) {
+				return fmt.Errorf("plan: row too short: col %d of %d", off, len(b.Cols))
+			}
+			// Per-representation gather loops; each produces exactly what
+			// col.Get(i) would, without its per-row branch chain.
+			col := &b.Cols[off]
+			if col.Any != nil {
+				a := col.Any
+				for k, i := range sel {
+					out[k] = a[i]
+				}
+				return nil
+			}
+			nul := col.Null
+			switch col.Kind {
+			case types.KindFloat:
+				f := col.F
+				if nul == nil {
+					for k, i := range sel {
+						out[k] = types.Value{Kind: types.KindFloat, F: f[i]}
+					}
+				} else {
+					for k, i := range sel {
+						if nul[i] {
+							out[k] = types.Null
+						} else {
+							out[k] = types.Value{Kind: types.KindFloat, F: f[i]}
+						}
+					}
+				}
+			case types.KindString:
+				s := col.S
+				if nul == nil {
+					for k, i := range sel {
+						out[k] = types.Value{Kind: types.KindString, S: s[i]}
+					}
+				} else {
+					for k, i := range sel {
+						if nul[i] {
+							out[k] = types.Null
+						} else {
+							out[k] = types.Value{Kind: types.KindString, S: s[i]}
+						}
+					}
+				}
+			case types.KindNull:
+				for k := range sel {
+					out[k] = types.Null
+				}
+			default: // Int, Date, Bool
+				iv := col.I
+				kind := col.Kind
+				if nul == nil {
+					for k, i := range sel {
+						out[k] = types.Value{Kind: kind, I: iv[i]}
+					}
+				} else {
+					for k, i := range sel {
+						if nul[i] {
+							out[k] = types.Null
+						} else {
+							out[k] = types.Value{Kind: kind, I: iv[i]}
+						}
+					}
+				}
+			}
+			return nil
+		}, nil
+
+	case *Bin:
+		if x.Op.Comparison() {
+			if ev, ok := fuseCmpColConst(x, lay, sink); ok {
+				return ev, nil
+			}
+		}
+		l, err := CompileVec(x.L, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		r, err := CompileVec(x.R, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		return compileBinVec(x.Op, l, r, sink)
+
+	case *Not:
+		inner, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		var iv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			sink.AccountCPU(OpsPerOperator * float64(len(sel)))
+			iv = growVals(iv, len(sel))
+			if err := inner(b, sel, iv); err != nil {
+				return err
+			}
+			for k := range sel {
+				if iv[k].IsNull() {
+					out[k] = types.Null
+				} else {
+					out[k] = types.NewBool(!iv[k].Bool())
+				}
+			}
+			return nil
+		}, nil
+
+	case *Neg:
+		inner, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		var iv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			sink.AccountCPU(OpsPerOperator * float64(len(sel)))
+			iv = growVals(iv, len(sel))
+			if err := inner(b, sel, iv); err != nil {
+				return err
+			}
+			for k := range sel {
+				v := iv[k]
+				switch v.Kind {
+				case types.KindNull:
+					out[k] = types.Null
+				case types.KindInt:
+					out[k] = types.NewInt(-v.I)
+				case types.KindFloat:
+					out[k] = types.NewFloat(-v.F)
+				default:
+					return fmt.Errorf("plan: cannot negate %s", v.Kind)
+				}
+			}
+			return nil
+		}, nil
+
+	case *Between:
+		if fev, ok := fuseBetweenColConst(x, lay, sink); ok {
+			return fev, nil
+		}
+		ev, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := CompileVec(x.Lo, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := CompileVec(x.Hi, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		notB := x.NotB
+		var vv, lv, hv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			n := len(sel)
+			sink.AccountCPU(2 * OpsPerOperator * float64(n))
+			vv, lv, hv = growVals(vv, n), growVals(lv, n), growVals(hv, n)
+			if err := ev(b, sel, vv); err != nil {
+				return err
+			}
+			if err := lo(b, sel, lv); err != nil {
+				return err
+			}
+			if err := hi(b, sel, hv); err != nil {
+				return err
+			}
+			for k := 0; k < n; k++ {
+				if vv[k].IsNull() || lv[k].IsNull() || hv[k].IsNull() {
+					out[k] = types.Null
+					continue
+				}
+				c1, ok1 := cmpFast(vv[k], lv[k])
+				c2, ok2 := cmpFast(vv[k], hv[k])
+				if !ok1 || !ok2 {
+					return fmt.Errorf("plan: BETWEEN on incompatible types")
+				}
+				res := c1 >= 0 && c2 <= 0
+				if notB {
+					res = !res
+				}
+				out[k] = types.NewBool(res)
+			}
+			return nil
+		}, nil
+
+	case *In:
+		// Vectorize only when every list element is charge-free (Const or
+		// ColRef): the scalar form evaluates list elements lazily, which
+		// only matters for charges. Complex lists fall back to the scalar
+		// evaluator row by row.
+		getters := make([]func(*Batch, int) types.Value, len(x.List))
+		offs := make([]int, 0, len(x.List))
+		simple := true
+		for i, le := range x.List {
+			switch y := le.(type) {
+			case *Const:
+				v := y.Val
+				getters[i] = func(*Batch, int) types.Value { return v }
+			case *ColRef:
+				off, err := lay.Offset(y)
+				if err != nil {
+					return nil, err
+				}
+				offs = append(offs, off)
+				getters[i] = func(b *Batch, row int) types.Value { return b.Cols[off].Get(row) }
+			default:
+				simple = false
+			}
+			if !simple {
+				break
+			}
+		}
+		if !simple {
+			return rowFallback(e, lay, sink)
+		}
+		ev, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		notI := x.NotI
+		var vv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			n := len(sel)
+			sink.AccountCPU(float64(len(getters)) * OpsPerOperator * float64(n))
+			for _, off := range offs {
+				if off >= len(b.Cols) {
+					return fmt.Errorf("plan: row too short: col %d of %d", off, len(b.Cols))
+				}
+			}
+			vv = growVals(vv, n)
+			if err := ev(b, sel, vv); err != nil {
+				return err
+			}
+			for k, i := range sel {
+				v := vv[k]
+				if v.IsNull() {
+					out[k] = types.Null
+					continue
+				}
+				sawNull := false
+				found := false
+				for _, g := range getters {
+					lv := g(b, i)
+					if lv.IsNull() {
+						sawNull = true
+						continue
+					}
+					if types.Equal(v, lv) {
+						found = true
+						break
+					}
+				}
+				switch {
+				case found:
+					out[k] = types.NewBool(!notI)
+				case sawNull:
+					out[k] = types.Null
+				default:
+					out[k] = types.NewBool(notI)
+				}
+			}
+			return nil
+		}, nil
+
+	case *Like:
+		ev, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		match := compileLikeMatcher(x.Pattern)
+		notL := x.NotL
+		var vv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			vv = growVals(vv, len(sel))
+			if err := ev(b, sel, vv); err != nil {
+				return err
+			}
+			var ops float64
+			for k := range sel {
+				v := vv[k]
+				if v.IsNull() {
+					out[k] = types.Null
+					continue
+				}
+				if v.Kind != types.KindString {
+					sink.AccountCPU(ops)
+					return fmt.Errorf("plan: LIKE on %s", v.Kind)
+				}
+				ops += types.LikeCostOps(len(v.S))
+				res := match(v.S)
+				if notL {
+					res = !res
+				}
+				out[k] = types.NewBool(res)
+			}
+			sink.AccountCPU(ops)
+			return nil
+		}, nil
+
+	case *IsNull:
+		inner, err := CompileVec(x.E, lay, sink)
+		if err != nil {
+			return nil, err
+		}
+		notN := x.NotN
+		var iv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			sink.AccountCPU(OpsPerOperator * float64(len(sel)))
+			iv = growVals(iv, len(sel))
+			if err := inner(b, sel, iv); err != nil {
+				return err
+			}
+			for k := range sel {
+				out[k] = types.NewBool(iv[k].IsNull() != notN)
+			}
+			return nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("plan: cannot compile %T", e)
+	}
+}
+
+// cmpFast compares two non-NULL values, specializing the same-kind cases
+// of types.Compare (identical results; it only skips the generic kind
+// dispatch and float promotion).
+func cmpFast(a, b types.Value) (int, bool) {
+	if a.Kind == b.Kind {
+		switch a.Kind {
+		case types.KindFloat:
+			switch {
+			case a.F < b.F:
+				return -1, true
+			case a.F > b.F:
+				return 1, true
+			}
+			return 0, true
+		case types.KindInt, types.KindDate, types.KindBool:
+			switch {
+			case a.I < b.I:
+				return -1, true
+			case a.I > b.I:
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return types.Compare(a, b)
+}
+
+// rowFallback evaluates an expression with the scalar evaluator, one
+// selected row at a time; charges are identical by construction.
+func rowFallback(e Expr, lay Layout, sink CPUSink) (VecEval, error) {
+	ev, err := Compile(e, lay, sink)
+	if err != nil {
+		return nil, err
+	}
+	var row Row
+	return func(b *Batch, sel []int, out []types.Value) error {
+		if cap(row) < len(b.Cols) {
+			row = make(Row, len(b.Cols))
+		}
+		r := row[:len(b.Cols)]
+		for k, i := range sel {
+			b.ReadRow(i, r)
+			v, err := ev(r)
+			if err != nil {
+				return err
+			}
+			out[k] = v
+		}
+		return nil
+	}, nil
+}
+
+func compileBinVec(op sql.BinaryOp, l, r VecEval, sink CPUSink) (VecEval, error) {
+	switch op {
+	case sql.OpAnd:
+		var lv, rv []types.Value
+		var subsel, subpos []int
+		return func(b *Batch, sel []int, out []types.Value) error {
+			n := len(sel)
+			sink.AccountCPU(OpsPerOperator * float64(n))
+			lv = growVals(lv, n)
+			if err := l(b, sel, lv); err != nil {
+				return err
+			}
+			subsel, subpos = subsel[:0], subpos[:0]
+			for k := 0; k < n; k++ {
+				if !lv[k].IsNull() && !lv[k].Bool() {
+					out[k] = types.NewBool(false)
+				} else {
+					subsel = append(subsel, sel[k])
+					subpos = append(subpos, k)
+				}
+			}
+			if len(subsel) == 0 {
+				return nil
+			}
+			rv = growVals(rv, len(subsel))
+			if err := r(b, subsel, rv); err != nil {
+				return err
+			}
+			for j, k := range subpos {
+				switch {
+				case !rv[j].IsNull() && !rv[j].Bool():
+					out[k] = types.NewBool(false)
+				case lv[k].IsNull() || rv[j].IsNull():
+					out[k] = types.Null
+				default:
+					out[k] = types.NewBool(true)
+				}
+			}
+			return nil
+		}, nil
+
+	case sql.OpOr:
+		var lv, rv []types.Value
+		var subsel, subpos []int
+		return func(b *Batch, sel []int, out []types.Value) error {
+			n := len(sel)
+			sink.AccountCPU(OpsPerOperator * float64(n))
+			lv = growVals(lv, n)
+			if err := l(b, sel, lv); err != nil {
+				return err
+			}
+			subsel, subpos = subsel[:0], subpos[:0]
+			for k := 0; k < n; k++ {
+				if !lv[k].IsNull() && lv[k].Bool() {
+					out[k] = types.NewBool(true)
+				} else {
+					subsel = append(subsel, sel[k])
+					subpos = append(subpos, k)
+				}
+			}
+			if len(subsel) == 0 {
+				return nil
+			}
+			rv = growVals(rv, len(subsel))
+			if err := r(b, subsel, rv); err != nil {
+				return err
+			}
+			for j, k := range subpos {
+				switch {
+				case !rv[j].IsNull() && rv[j].Bool():
+					out[k] = types.NewBool(true)
+				case lv[k].IsNull() || rv[j].IsNull():
+					out[k] = types.Null
+				default:
+					out[k] = types.NewBool(false)
+				}
+			}
+			return nil
+		}, nil
+	}
+
+	if op.Comparison() {
+		var lv, rv []types.Value
+		return func(b *Batch, sel []int, out []types.Value) error {
+			n := len(sel)
+			sink.AccountCPU(OpsPerOperator * float64(n))
+			lv, rv = growVals(lv, n), growVals(rv, n)
+			if err := l(b, sel, lv); err != nil {
+				return err
+			}
+			if err := r(b, sel, rv); err != nil {
+				return err
+			}
+			for k := 0; k < n; k++ {
+				if lv[k].IsNull() || rv[k].IsNull() {
+					out[k] = types.Null
+					continue
+				}
+				c, ok := cmpFast(lv[k], rv[k])
+				if !ok {
+					return fmt.Errorf("plan: cannot compare %s with %s", lv[k].Kind, rv[k].Kind)
+				}
+				var res bool
+				switch op {
+				case sql.OpEq:
+					res = c == 0
+				case sql.OpNe:
+					res = c != 0
+				case sql.OpLt:
+					res = c < 0
+				case sql.OpLe:
+					res = c <= 0
+				case sql.OpGt:
+					res = c > 0
+				case sql.OpGe:
+					res = c >= 0
+				}
+				out[k] = types.NewBool(res)
+			}
+			return nil
+		}, nil
+	}
+
+	// Arithmetic.
+	var lv, rv []types.Value
+	return func(b *Batch, sel []int, out []types.Value) error {
+		n := len(sel)
+		sink.AccountCPU(OpsPerOperator * float64(n))
+		lv, rv = growVals(lv, n), growVals(rv, n)
+		if err := l(b, sel, lv); err != nil {
+			return err
+		}
+		if err := r(b, sel, rv); err != nil {
+			return err
+		}
+		for k := 0; k < n; k++ {
+			a, b2 := lv[k], rv[k]
+			if a.IsNull() || b2.IsNull() {
+				out[k] = types.Null
+				continue
+			}
+			// Numeric fast paths for +,-,* mirror arith() exactly: float
+			// promotion when either side is a float, and an int result for
+			// int⊗int (the date-typing rule only applies with a date
+			// operand, which takes the general path).
+			if a.Kind == types.KindInt && b2.Kind == types.KindInt {
+				var i int64
+				switch op {
+				case sql.OpAdd:
+					i = a.I + b2.I
+				case sql.OpSub:
+					i = a.I - b2.I
+				case sql.OpMul:
+					i = a.I * b2.I
+				default:
+					goto general
+				}
+				out[k] = types.Value{Kind: types.KindInt, I: i}
+				continue
+			}
+			if (a.Kind == types.KindFloat || b2.Kind == types.KindFloat) &&
+				(a.Kind == types.KindFloat || a.Kind == types.KindInt) &&
+				(b2.Kind == types.KindFloat || b2.Kind == types.KindInt) {
+				af, bf := a.F, b2.F
+				if a.Kind == types.KindInt {
+					af = float64(a.I)
+				}
+				if b2.Kind == types.KindInt {
+					bf = float64(b2.I)
+				}
+				var f float64
+				switch op {
+				case sql.OpAdd:
+					f = af + bf
+				case sql.OpSub:
+					f = af - bf
+				case sql.OpMul:
+					f = af * bf
+				default:
+					goto general
+				}
+				out[k] = types.Value{Kind: types.KindFloat, F: f}
+				continue
+			}
+		general:
+			v, err := arith(op, a, b2)
+			if err != nil {
+				return err
+			}
+			out[k] = v
+		}
+		return nil
+	}, nil
+}
+
+// compileLikeMatcher builds a matcher equivalent to
+// types.MatchLike(s, pattern), specialized once at compile time. A
+// pattern without '_' wildcards reduces to a prefix check, a suffix
+// check, and an ordered chain of substring searches, which run on the
+// optimized strings package instead of the general byte-at-a-time
+// backtracking matcher. The charge (LikeCostOps per row) is unchanged.
+func compileLikeMatcher(pattern string) func(string) bool {
+	if strings.ContainsRune(pattern, '_') {
+		return func(s string) bool { return types.MatchLike(s, pattern) }
+	}
+	segs := strings.Split(pattern, "%")
+	if len(segs) == 1 {
+		return func(s string) bool { return s == pattern }
+	}
+	first, last := segs[0], segs[len(segs)-1]
+	mids := segs[1 : len(segs)-1]
+	return func(s string) bool {
+		if !strings.HasPrefix(s, first) {
+			return false
+		}
+		s = s[len(first):]
+		if len(s) < len(last) || !strings.HasSuffix(s, last) {
+			return false
+		}
+		s = s[:len(s)-len(last)]
+		for _, m := range mids {
+			if m == "" {
+				continue
+			}
+			idx := strings.Index(s, m)
+			if idx < 0 {
+				return false
+			}
+			s = s[idx+len(m):]
+		}
+		return true
+	}
+}
+
+// cmpOpRes maps a three-way comparison result to a comparison operator's
+// boolean result, exactly as the generic comparison loop does.
+func cmpOpRes(op sql.BinaryOp, c int) bool {
+	switch op {
+	case sql.OpEq:
+		return c == 0
+	case sql.OpNe:
+		return c != 0
+	case sql.OpLt:
+		return c < 0
+	case sql.OpLe:
+		return c <= 0
+	case sql.OpGt:
+		return c > 0
+	case sql.OpGe:
+		return c >= 0
+	}
+	return false
+}
+
+// fuseCmpColConst specializes `column <op> constant` (either operand
+// order) comparisons: typed same-kind columns compare directly on the
+// payload slice with no per-row boxing or gathering. Charges, NULL
+// handling, error messages, and three-way comparison results (including
+// the NaN-compares-equal convention of cmpFast) are identical to the
+// generic path.
+func fuseCmpColConst(x *Bin, lay Layout, sink CPUSink) (VecEval, bool) {
+	op := x.Op
+	cr, okC := x.L.(*ColRef)
+	cn, okK := x.R.(*Const)
+	flip := false
+	if !okC || !okK {
+		cn, okK = x.L.(*Const)
+		cr, okC = x.R.(*ColRef)
+		if !okC || !okK {
+			return nil, false
+		}
+		flip = true
+	}
+	off, err := lay.Offset(cr)
+	if err != nil {
+		return nil, false
+	}
+	cv := cn.Val
+	return func(b *Batch, sel []int, out []types.Value) error {
+		n := len(sel)
+		sink.AccountCPU(OpsPerOperator * float64(n))
+		if off >= len(b.Cols) {
+			return fmt.Errorf("plan: row too short: col %d of %d", off, len(b.Cols))
+		}
+		col := &b.Cols[off]
+		if cv.IsNull() {
+			for k := range sel {
+				out[k] = types.Null
+			}
+			return nil
+		}
+		if col.Any == nil && cv.Kind == col.Kind {
+			nul := col.Null
+			switch col.Kind {
+			case types.KindFloat:
+				f, c := col.F, cv.F
+				for k, i := range sel {
+					if nul != nil && nul[i] {
+						out[k] = types.Null
+						continue
+					}
+					cc := 0
+					switch v := f[i]; {
+					case v < c:
+						cc = -1
+					case v > c:
+						cc = 1
+					}
+					if flip {
+						cc = -cc
+					}
+					out[k] = types.NewBool(cmpOpRes(op, cc))
+				}
+				return nil
+			case types.KindInt, types.KindDate, types.KindBool:
+				iv, c := col.I, cv.I
+				for k, i := range sel {
+					if nul != nil && nul[i] {
+						out[k] = types.Null
+						continue
+					}
+					cc := 0
+					switch v := iv[i]; {
+					case v < c:
+						cc = -1
+					case v > c:
+						cc = 1
+					}
+					if flip {
+						cc = -cc
+					}
+					out[k] = types.NewBool(cmpOpRes(op, cc))
+				}
+				return nil
+			case types.KindString:
+				s, c := col.S, cv.S
+				for k, i := range sel {
+					if nul != nil && nul[i] {
+						out[k] = types.Null
+						continue
+					}
+					cc := strings.Compare(s[i], c)
+					if flip {
+						cc = -cc
+					}
+					out[k] = types.NewBool(cmpOpRes(op, cc))
+				}
+				return nil
+			}
+		}
+		for k, i := range sel {
+			v := col.Get(i)
+			if v.IsNull() {
+				out[k] = types.Null
+				continue
+			}
+			a, b2 := v, cv
+			if flip {
+				a, b2 = cv, v
+			}
+			c, ok := cmpFast(a, b2)
+			if !ok {
+				return fmt.Errorf("plan: cannot compare %s with %s", a.Kind, b2.Kind)
+			}
+			out[k] = types.NewBool(cmpOpRes(op, c))
+		}
+		return nil
+	}, true
+}
+
+// fuseBetweenColConst specializes `column BETWEEN const AND const` over
+// typed same-kind columns, comparing directly on the payload slice. The
+// !(v < lo) / !(v > hi) forms reproduce cmpFast's three-way results
+// exactly, NaN included.
+func fuseBetweenColConst(x *Between, lay Layout, sink CPUSink) (VecEval, bool) {
+	cr, ok1 := x.E.(*ColRef)
+	lo, ok2 := x.Lo.(*Const)
+	hi, ok3 := x.Hi.(*Const)
+	if !ok1 || !ok2 || !ok3 {
+		return nil, false
+	}
+	off, err := lay.Offset(cr)
+	if err != nil {
+		return nil, false
+	}
+	loV, hiV := lo.Val, hi.Val
+	notB := x.NotB
+	return func(b *Batch, sel []int, out []types.Value) error {
+		n := len(sel)
+		sink.AccountCPU(2 * OpsPerOperator * float64(n))
+		if off >= len(b.Cols) {
+			return fmt.Errorf("plan: row too short: col %d of %d", off, len(b.Cols))
+		}
+		col := &b.Cols[off]
+		if loV.IsNull() || hiV.IsNull() {
+			for k := range sel {
+				out[k] = types.Null
+			}
+			return nil
+		}
+		if col.Any == nil && loV.Kind == col.Kind && hiV.Kind == col.Kind {
+			nul := col.Null
+			switch col.Kind {
+			case types.KindFloat:
+				f, loF, hiF := col.F, loV.F, hiV.F
+				for k, i := range sel {
+					if nul != nil && nul[i] {
+						out[k] = types.Null
+						continue
+					}
+					v := f[i]
+					res := !(v < loF) && !(v > hiF)
+					if notB {
+						res = !res
+					}
+					out[k] = types.NewBool(res)
+				}
+				return nil
+			case types.KindInt, types.KindDate, types.KindBool:
+				iv, loI, hiI := col.I, loV.I, hiV.I
+				for k, i := range sel {
+					if nul != nil && nul[i] {
+						out[k] = types.Null
+						continue
+					}
+					v := iv[i]
+					res := v >= loI && v <= hiI
+					if notB {
+						res = !res
+					}
+					out[k] = types.NewBool(res)
+				}
+				return nil
+			}
+		}
+		for k, i := range sel {
+			v := col.Get(i)
+			if v.IsNull() {
+				out[k] = types.Null
+				continue
+			}
+			c1, okA := cmpFast(v, loV)
+			c2, okB := cmpFast(v, hiV)
+			if !okA || !okB {
+				return fmt.Errorf("plan: BETWEEN on incompatible types")
+			}
+			res := c1 >= 0 && c2 <= 0
+			if notB {
+				res = !res
+			}
+			out[k] = types.NewBool(res)
+		}
+		return nil
+	}, true
+}

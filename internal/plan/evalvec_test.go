@@ -1,0 +1,307 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+
+	"dbvirt/internal/types"
+)
+
+// vecParityExprs are scalar SELECT expressions over the orders schema
+// covering every CompileVec case: comparisons (both null and non-null
+// operands), AND/OR short-circuiting, arithmetic, BETWEEN, IN (simple and
+// compiled-fallback lists), LIKE, IS NULL, NOT, and negation.
+var vecParityExprs = []string{
+	"o_orderkey = 7",
+	"o_orderkey <> o_custkey",
+	"o_total < 500.0",
+	"o_total >= 100.0",
+	"o_orderkey <= o_custkey",
+	"o_orderkey > 3",
+	"o_orderkey + o_custkey * 2",
+	"o_total / 2.0 - 1.0",
+	"-o_orderkey",
+	"NOT (o_orderkey = 2)",
+	"o_orderkey = 2 AND o_total > 50.0",
+	"o_orderkey = 2 OR o_total > 50.0",
+	"o_orderkey < 5 AND (o_custkey > 2 OR o_total IS NULL)",
+	"o_orderkey BETWEEN 2 AND 8",
+	"o_orderkey NOT BETWEEN o_custkey AND 8",
+	"o_total BETWEEN 10.0 AND 900.0",
+	"o_orderkey IN (1, 3, 5, 7)",
+	"o_orderkey NOT IN (2, o_custkey)",
+	"o_orderkey IN (o_custkey + 1, 4)", // non-simple list: row fallback
+	"o_comment LIKE '%pending%'",
+	"o_comment NOT LIKE 'x%'",
+	"o_comment LIKE '%a%b%'",
+	"o_total IS NULL",
+	"o_comment IS NOT NULL",
+	"o_orderkey = 1 OR o_comment LIKE '%deposit%'",
+}
+
+// vecParityRows builds a row set with NULLs in every column and enough
+// variety to take both branches of each predicate.
+func vecParityRows() []Row {
+	var rows []Row
+	comments := []string{
+		"pending deposits", "quick brown fox", "", "aXb", "special requests",
+		"furiously pending", "deposit accounts move",
+	}
+	for i := 0; i < 37; i++ {
+		r := Row{
+			types.NewInt(int64(i % 11)),
+			types.NewInt(int64(i % 7)),
+			types.NewDate(int64(10000 + i)),
+			types.NewString(comments[i%len(comments)]),
+			types.NewFloat(float64(i*13%1000) + 0.5),
+		}
+		if i%5 == 0 {
+			r[4] = types.Null
+		}
+		if i%7 == 3 {
+			r[3] = types.Null
+		}
+		if i%9 == 4 {
+			r[0] = types.Null
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// batchOf packs rows into a boxed batch.
+func batchOf(rows []Row) *Batch {
+	var b Batch
+	b.Reset(len(rows[0]))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return &b
+}
+
+// TestCompileVecMatchesCompile checks that the vectorized evaluator
+// produces the same values AND charges bit-identical CPU operations as
+// the scalar evaluator, over full batches and over sub-selections.
+func TestCompileVecMatchesCompile(t *testing.T) {
+	rows := vecParityRows()
+	b := batchOf(rows)
+	lay := SingleRel(0)
+
+	sels := map[string][]int{
+		"all":    nil, // full batch
+		"even":   {0, 2, 4, 6, 8, 10, 12, 20, 30, 36},
+		"single": {17},
+		"empty":  {},
+	}
+
+	for _, src := range vecParityExprs {
+		q := mustBind(t, "SELECT "+src+" FROM orders")
+		e := q.Select[0].E
+		for selName, sel := range sels {
+			t.Run(fmt.Sprintf("%s/%s", src, selName), func(t *testing.T) {
+				if sel == nil {
+					sel = make([]int, len(rows))
+					for i := range sel {
+						sel[i] = i
+					}
+				}
+				scalarSink := &countingSink{}
+				ev, err := Compile(e, lay, scalarSink)
+				if err != nil {
+					t.Fatalf("Compile: %v", err)
+				}
+				want := make([]types.Value, len(sel))
+				for k, i := range sel {
+					v, err := ev(rows[i])
+					if err != nil {
+						t.Fatalf("scalar eval row %d: %v", i, err)
+					}
+					want[k] = v
+				}
+
+				vecSink := &countingSink{}
+				vev, err := CompileVec(e, lay, vecSink)
+				if err != nil {
+					t.Fatalf("CompileVec: %v", err)
+				}
+				got := make([]types.Value, len(sel))
+				if err := vev(b, sel, got); err != nil {
+					t.Fatalf("vec eval: %v", err)
+				}
+
+				for k := range sel {
+					if !valueEq(want[k], got[k]) {
+						t.Errorf("row %d: scalar %v, vec %v", sel[k], want[k], got[k])
+					}
+				}
+				if scalarSink.ops != vecSink.ops {
+					t.Errorf("charges diverge: scalar %v ops, vec %v ops", scalarSink.ops, vecSink.ops)
+				}
+			})
+		}
+	}
+}
+
+// TestCompileVecReusedAcrossBatches verifies a compiled VecEval can be
+// called repeatedly (internal scratch is reused) without corrupting
+// results or charges.
+func TestCompileVecReusedAcrossBatches(t *testing.T) {
+	rows := vecParityRows()
+	b := batchOf(rows)
+	lay := SingleRel(0)
+	q := mustBind(t, "SELECT o_orderkey < 5 AND o_comment LIKE '%pending%' FROM orders")
+
+	vecSink := &countingSink{}
+	vev, err := CompileVec(q.Select[0].E, lay, vecSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarSink := &countingSink{}
+	ev, err := Compile(q.Select[0].E, lay, scalarSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sels := [][]int{{0, 1, 2, 3}, {4, 9, 14}, {36}, {5, 6, 7, 8, 9, 10, 11}}
+	for pass := 0; pass < 3; pass++ {
+		for _, sel := range sels {
+			out := make([]types.Value, len(sel))
+			if err := vev(b, sel, out); err != nil {
+				t.Fatal(err)
+			}
+			for k, i := range sel {
+				want, err := ev(rows[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !valueEq(want, out[k]) {
+					t.Fatalf("pass %d row %d: scalar %v, vec %v", pass, i, want, out[k])
+				}
+			}
+		}
+	}
+	if scalarSink.ops != vecSink.ops {
+		t.Errorf("charges diverge after reuse: scalar %v, vec %v", scalarSink.ops, vecSink.ops)
+	}
+}
+
+// TestCompileVecTypedColumns runs the parity check against a batch whose
+// columns use typed payloads with null bitmaps rather than boxed values.
+func TestCompileVecTypedColumns(t *testing.T) {
+	lay := SingleRel(0)
+	n := 29
+	ints := make([]int64, n)
+	nulls := make([]bool, n)
+	totals := make([]float64, n)
+	comments := make([]string, n)
+	var rows []Row
+	for i := 0; i < n; i++ {
+		ints[i] = int64(i % 9)
+		nulls[i] = i%6 == 2
+		totals[i] = float64(i) * 3.25
+		comments[i] = fmt.Sprintf("c%d pending", i)
+		r := Row{types.NewInt(ints[i]), types.NewInt(int64(i)), types.NewDate(int64(i)),
+			types.NewString(comments[i]), types.NewFloat(totals[i])}
+		if nulls[i] {
+			r[0] = types.Null
+		}
+		rows = append(rows, r)
+	}
+	custs := make([]int64, n)
+	dates := make([]int64, n)
+	for i := range custs {
+		custs[i] = int64(i)
+		dates[i] = int64(i)
+	}
+	b := &Batch{
+		Cols: []types.Vec{
+			{Kind: types.KindInt, I: ints, Null: nulls},
+			{Kind: types.KindInt, I: custs},
+			{Kind: types.KindDate, I: dates},
+			{Kind: types.KindString, S: comments},
+			{Kind: types.KindFloat, F: totals},
+		},
+		N: n,
+	}
+
+	for _, src := range []string{
+		"o_orderkey = 4 OR o_total > 50.0",
+		"o_orderkey IS NULL",
+		"o_comment LIKE '%pending'",
+		"o_orderkey BETWEEN 2 AND 6",
+	} {
+		q := mustBind(t, "SELECT "+src+" FROM orders")
+		sSink, vSink := &countingSink{}, &countingSink{}
+		ev, err := Compile(q.Select[0].E, lay, sSink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vev, err := CompileVec(q.Select[0].E, lay, vSink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := make([]int, n)
+		for i := range sel {
+			sel[i] = i
+		}
+		out := make([]types.Value, n)
+		if err := vev(b, sel, out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range rows {
+			want, err := ev(rows[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valueEq(want, out[i]) {
+				t.Errorf("%s row %d: scalar %v, vec %v", src, i, want, out[i])
+			}
+		}
+		if sSink.ops != vSink.ops {
+			t.Errorf("%s: charges diverge: scalar %v, vec %v", src, sSink.ops, vSink.ops)
+		}
+	}
+}
+
+// valueEq compares values including NULL-ness and kind-sensitive payloads.
+func valueEq(a, b types.Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return a.IsNull() && b.IsNull()
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case types.KindString:
+		return a.S == b.S
+	case types.KindFloat:
+		return a.F == b.F
+	default:
+		return a.I == b.I
+	}
+}
+
+// TestCompileLikeMatcherEquivalence checks the compile-time-specialized
+// LIKE matcher against the reference backtracking matcher on patterns
+// exercising every specialization branch (exact, prefix, suffix,
+// substring chains, empty segments, overlaps, underscores).
+func TestCompileLikeMatcherEquivalence(t *testing.T) {
+	patterns := []string{
+		"", "%", "%%", "a", "abc", "a%", "%a", "%a%", "a%b", "a%b%c",
+		"%special%requests%", "%%a%%b%%", "a%a", "ab%ba", "%abc",
+		"abc%", "_", "a_c", "%a_c%", "_%_", "aa%aa",
+	}
+	inputs := []string{
+		"", "a", "b", "aa", "ab", "abc", "abcabc", "aba", "abba",
+		"special requests", "xspecialyrequestsz", "requests special",
+		"aabaa", "aaaa", "abcba", "cab", "the special x requests y",
+	}
+	for _, p := range patterns {
+		m := compileLikeMatcher(p)
+		for _, s := range inputs {
+			if got, want := m(s), types.MatchLike(s, p); got != want {
+				t.Errorf("pattern %q input %q: compiled=%v reference=%v", p, s, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package types
+
+// Vec is a column vector: the values of one column across the rows of a
+// batch. Two representations are supported:
+//
+//   - Typed: Kind names a uniform non-null kind and the matching payload
+//     slice (I for Int/Date/Bool, F for Float, S for String) holds one
+//     entry per row; Null, when non-nil, flags NULL rows (their payload
+//     entry is the zero value). Columnar page decoding produces this form.
+//   - Boxed: Any holds one Value per row. Operator output vectors use this
+//     form; it handles mixed kinds (e.g. expression results).
+//
+// The zero Vec is an empty boxed vector. A Vec must not be mutated once
+// shared: scan batches alias cached column blocks.
+type Vec struct {
+	Kind Kind
+	Null []bool    // non-nil when the column has NULLs (typed form)
+	I    []int64   // KindInt, KindDate, KindBool payloads
+	F    []float64 // KindFloat payloads
+	S    []string  // KindString payloads
+	Any  []Value   // boxed form; takes precedence when non-nil
+}
+
+// Len returns the number of rows in the vector.
+func (v *Vec) Len() int {
+	if v.Any != nil {
+		return len(v.Any)
+	}
+	switch v.Kind {
+	case KindFloat:
+		return len(v.F)
+	case KindString:
+		return len(v.S)
+	case KindNull:
+		return len(v.Null)
+	default:
+		return len(v.I)
+	}
+}
+
+// Get materializes row i of the vector as a Value.
+func (v *Vec) Get(i int) Value {
+	if v.Any != nil {
+		return v.Any[i]
+	}
+	if v.Null != nil && v.Null[i] {
+		return Null
+	}
+	switch v.Kind {
+	case KindFloat:
+		return Value{Kind: KindFloat, F: v.F[i]}
+	case KindString:
+		return Value{Kind: KindString, S: v.S[i]}
+	case KindNull:
+		return Null
+	default:
+		return Value{Kind: v.Kind, I: v.I[i]}
+	}
+}
+
+// Append adds one value to a boxed vector. It must not be used on typed
+// vectors (those are built whole by the page decoder).
+func (v *Vec) Append(val Value) {
+	v.Any = append(v.Any, val)
+}
+
+// Reset truncates a boxed vector to zero rows, keeping capacity.
+func (v *Vec) Reset() {
+	v.Any = v.Any[:0]
+	v.Kind = KindNull
+	v.Null = nil
+	v.I = nil
+	v.F = nil
+	v.S = nil
+}

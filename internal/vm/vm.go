@@ -12,6 +12,17 @@
 // half the disk rate, and a VM's memory share bounds how much RAM (buffer
 // pool) it may use.
 //
+// Accounting is counter-based: Account* calls only accumulate exact work
+// counters (ops, pages), and simulated seconds are derived lazily at
+// Snapshot time by dividing each counter by the effective rate of the
+// current share epoch. SetShares folds the seconds of the finished epoch
+// into a running total and marks a new epoch. Because every charge in the
+// engine is integer-valued, the counters are exact regardless of how work
+// is grouped into Account* calls — charging 300 ops once per tuple or
+// 300×n once per batch yields bit-identical derived seconds, which is what
+// lets the vectorized executor keep costs bit-identical to tuple-at-a-time
+// execution.
+//
 // Two second-order effects of real hypervisors are modeled because the
 // paper's measurements depend on them:
 //
@@ -322,6 +333,10 @@ func (u Usage) Add(o Usage) Usage {
 // that accumulates the cost of work charged to it. A VM is not safe for
 // concurrent use by multiple goroutines; each simulated workload drives its
 // VM from one goroutine (distinct VMs may run in parallel).
+//
+// Work is recorded as exact counters; seconds are derived on Snapshot from
+// the counters accumulated in the current share epoch, plus the folded
+// seconds of earlier epochs (see SetShares).
 type VM struct {
 	name    string
 	machine *Machine
@@ -329,7 +344,22 @@ type VM struct {
 	mu     sync.RWMutex // guards shares (reconfigurable at runtime)
 	shares Shares
 
-	usage Usage
+	// Work counters. Every charge in the engine is integer-valued, so
+	// these sums are exact and independent of charge granularity.
+	cpuOps    float64
+	seqReads  int64
+	randReads int64
+	writes    int64
+
+	// foldedCPU/foldedIO are the derived seconds of completed share
+	// epochs; the *Mark fields are the counter values at the start of the
+	// current epoch.
+	foldedCPU float64
+	foldedIO  float64
+	cpuMark   float64
+	seqMark   int64
+	randMark  int64
+	writeMark int64
 }
 
 // Name returns the VM's name.
@@ -347,7 +377,9 @@ func (v *VM) Shares() Shares {
 
 // SetShares reconfigures the VM's resource shares at runtime (the dynamic
 // reallocation mechanism of the paper's Section 7). It fails if the new
-// shares would over-commit the machine.
+// shares would over-commit the machine. The seconds of the finished share
+// epoch are folded into the VM's running totals before the new shares take
+// effect, so work charged before the change is priced at the old rates.
 func (v *VM) SetShares(s Shares) error {
 	if !s.Valid() {
 		return fmt.Errorf("vm: invalid shares %v for %q", s, v.name)
@@ -358,6 +390,13 @@ func (v *VM) SetShares(s Shares) error {
 		return fmt.Errorf("vm: cannot reconfigure %q: %w", v.name, err)
 	}
 	v.mu.Lock()
+	cpu, io := v.pendingLocked()
+	v.foldedCPU += cpu
+	v.foldedIO += io
+	v.cpuMark = v.cpuOps
+	v.seqMark = v.seqReads
+	v.randMark = v.randReads
+	v.writeMark = v.writes
 	v.shares = s
 	v.mu.Unlock()
 	return nil
@@ -369,12 +408,28 @@ func (v *VM) MemBytes() int64 {
 	return int64(float64(v.machine.cfg.MemBytes) * v.Shares().Memory)
 }
 
-// effCPURate returns the VM's effective CPU rate in ops/s, including the
-// scheduler-overhead penalty for partial shares.
-func (v *VM) effCPURate() float64 {
-	cfg := v.machine.cfg
-	s := v.Shares().CPU
+// effCPURateFor is the effective CPU rate in ops/s at share s, including
+// the scheduler-overhead penalty for partial shares.
+func effCPURateFor(cfg MachineConfig, s float64) float64 {
 	return cfg.CPUOpsPerSec * s * (1 - cfg.SchedOverhead*(1-s))
+}
+
+// effCPURate returns the VM's effective CPU rate in ops/s under its
+// current shares.
+func (v *VM) effCPURate() float64 {
+	return effCPURateFor(v.machine.cfg, v.Shares().CPU)
+}
+
+// pendingLocked derives the CPU and I/O seconds of the work charged in the
+// current share epoch. Caller holds v.mu (read or write).
+func (v *VM) pendingLocked() (cpuSec, ioSec float64) {
+	cfg := v.machine.cfg
+	cpuSec = (v.cpuOps - v.cpuMark) / effCPURateFor(cfg, v.shares.CPU)
+	ioShare := v.shares.IO
+	ioSec = float64(v.seqReads-v.seqMark)/(cfg.SeqPagesPerSec*ioShare) +
+		float64(v.randReads-v.randMark)/(cfg.RandPagesPerSec*ioShare) +
+		float64(v.writes-v.writeMark)/(cfg.WritePagesPerSec*ioShare)
+	return cpuSec, ioSec
 }
 
 // AccountCPU charges n abstract CPU operations to the VM.
@@ -382,28 +437,17 @@ func (v *VM) AccountCPU(ops float64) {
 	if ops <= 0 {
 		return
 	}
-	v.usage.CPUOps += ops
-	v.usage.CPUSeconds += ops / v.effCPURate()
+	v.cpuOps += ops
 }
 
-// accountIO charges pages of I/O at the given machine rate, plus the
-// hypervisor's per-request CPU overhead.
-func (v *VM) accountIO(pages int, machineRate float64) {
-	if pages <= 0 {
-		return
-	}
-	ioShare := v.Shares().IO
-	v.usage.IOSeconds += float64(pages) / (machineRate * ioShare)
-	v.AccountCPU(v.machine.cfg.HypervisorIOOps * float64(pages))
-}
-
-// AccountSeqRead charges sequential page reads.
+// AccountSeqRead charges sequential page reads (plus the hypervisor's
+// per-request CPU overhead).
 func (v *VM) AccountSeqRead(pages int) {
 	if pages <= 0 {
 		return
 	}
-	v.accountIO(pages, v.machine.cfg.SeqPagesPerSec)
-	v.usage.SeqReads += int64(pages)
+	v.seqReads += int64(pages)
+	v.cpuOps += v.machine.cfg.HypervisorIOOps * float64(pages)
 }
 
 // AccountRandRead charges random page reads.
@@ -411,8 +455,8 @@ func (v *VM) AccountRandRead(pages int) {
 	if pages <= 0 {
 		return
 	}
-	v.accountIO(pages, v.machine.cfg.RandPagesPerSec)
-	v.usage.RandReads += int64(pages)
+	v.randReads += int64(pages)
+	v.cpuOps += v.machine.cfg.HypervisorIOOps * float64(pages)
 }
 
 // AccountWrite charges page writes.
@@ -420,24 +464,37 @@ func (v *VM) AccountWrite(pages int) {
 	if pages <= 0 {
 		return
 	}
-	v.accountIO(pages, v.machine.cfg.WritePagesPerSec)
-	v.usage.Writes += int64(pages)
+	v.writes += int64(pages)
+	v.cpuOps += v.machine.cfg.HypervisorIOOps * float64(pages)
 }
 
-// Snapshot returns the VM's accumulated usage so far.
-func (v *VM) Snapshot() Usage { return v.usage }
+// Snapshot returns the VM's accumulated usage so far, deriving seconds
+// from the work counters.
+func (v *VM) Snapshot() Usage {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	cpu, io := v.pendingLocked()
+	return Usage{
+		CPUSeconds: v.foldedCPU + cpu,
+		IOSeconds:  v.foldedIO + io,
+		CPUOps:     v.cpuOps,
+		SeqReads:   v.seqReads,
+		RandReads:  v.randReads,
+		Writes:     v.writes,
+	}
+}
 
 // Since returns the usage accumulated since the given snapshot.
-func (v *VM) Since(start Usage) Usage { return v.usage.Sub(start) }
+func (v *VM) Since(start Usage) Usage { return v.Snapshot().Sub(start) }
 
 // Elapsed returns the total simulated wall-clock seconds of the VM under
 // the machine's overlap model.
-func (v *VM) Elapsed() float64 { return v.usage.Elapsed(v.machine.cfg.Overlap) }
+func (v *VM) Elapsed() float64 { return v.Snapshot().Elapsed(v.machine.cfg.Overlap) }
 
 // ElapsedSince returns the simulated wall-clock seconds between the given
 // snapshot and now.
 func (v *VM) ElapsedSince(start Usage) float64 {
-	return v.usage.Sub(start).Elapsed(v.machine.cfg.Overlap)
+	return v.Snapshot().Sub(start).Elapsed(v.machine.cfg.Overlap)
 }
 
 // Rates describes the effective resource rates a VM sees under its current
