@@ -65,6 +65,7 @@ func main() {
 	}
 	closeObs = closeFn
 	root := tel.Span("calibrate")
+	obs.EnvSpanContext().Annotate(root)
 
 	cfg := calibration.DefaultConfig()
 	cfg.Parallelism = *jobs

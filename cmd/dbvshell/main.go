@@ -18,8 +18,10 @@ import (
 	"os"
 	"strings"
 
+	"dbvirt/internal/core"
 	"dbvirt/internal/engine"
 	"dbvirt/internal/obs"
+	"dbvirt/internal/telemetry"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
@@ -27,6 +29,17 @@ import (
 // closeObs flushes -trace-out/-metrics-out; set once telemetry is up so
 // fail() can flush on error exits too.
 var closeObs = func() error { return nil }
+
+// execObserver bridges the engine's per-statement execution records into
+// the shell's telemetry tenant: predicted-vs-actual residuals and the
+// actual-seconds sample stream. Sketch updates happen in the statement
+// loop (every statement counts, not only the paths the engine observes).
+type execObserver struct{ ten *telemetry.Tenant }
+
+func (o execObserver) ObserveExec(sql string, predicted, actual float64) {
+	o.ten.ObserveResidual(predicted, actual)
+	o.ten.ObserveCosts([]float64{actual})
+}
 
 func main() {
 	cpu := flag.Float64("cpu", 1.0, "VM CPU share")
@@ -48,6 +61,7 @@ func main() {
 	}
 	closeObs = closeFn
 	root := tel.Span("dbvshell")
+	obs.EnvSpanContext().Annotate(root)
 
 	m, err := vm.NewMachine(vm.DefaultMachineConfig())
 	if err != nil {
@@ -61,6 +75,8 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
+	ten := telemetry.NewHub(telemetry.Config{}).Tenant("shell")
+	s.Observer = execObserver{ten}
 	if *tpch {
 		fmt.Fprintln(os.Stderr, "loading TPC-H-like database (tiny scale)...")
 		if err := workload.Build(s, workload.TinyScale(), 1); err != nil {
@@ -82,6 +98,7 @@ func main() {
 	for _, stmt := range splitStatements(input) {
 		sp := root.Child("statement")
 		sp.SetArg("sql", firstLine(stmt))
+		ten.ObserveQuery(core.NormalizeSQL(stmt))
 		err := runStatement(s, stmt, *explain)
 		sp.End()
 		if err != nil {

@@ -42,6 +42,7 @@ func main() {
 	}
 	closeObs = closeFn
 	root := tel.Span("experiments")
+	obs.EnvSpanContext().Annotate(root)
 
 	env := experiments.DefaultEnv()
 	if *quick {

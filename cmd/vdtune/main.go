@@ -24,6 +24,7 @@ import (
 	"dbvirt/internal/core"
 	"dbvirt/internal/experiments"
 	"dbvirt/internal/obs"
+	"dbvirt/internal/telemetry"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
@@ -62,6 +63,7 @@ func main() {
 	}
 	closeObs = closeFn
 	root := tel.Span("vdtune")
+	obs.EnvSpanContext().Annotate(root)
 
 	if len(wflags) < 2 {
 		fail("need at least two -w workload specs, e.g. -w W1=Q4x3 -w W2=Q13x9")
@@ -123,6 +125,19 @@ func main() {
 		fail("solve: %v", err)
 	}
 
+	// Stream the solved problem into per-workload telemetry: the sketch
+	// records what each workload runs, the reservoir its predicted cost —
+	// so -metrics-out / -debug-addr expose telemetry.* for one-shot tuning
+	// runs exactly as vdtuned does for served traffic.
+	hub := telemetry.NewHub(telemetry.Config{})
+	for i, spec := range specs {
+		ten := hub.Tenant(spec.Name)
+		for _, norm := range spec.NormalizedStatements() {
+			ten.ObserveQuery(norm)
+		}
+		ten.ObserveCosts([]float64{sol.PredictedCosts[i]})
+	}
+
 	fmt.Printf("\nRecommended allocation (%s):\n", sol.Algorithm)
 	for i, spec := range specs {
 		fmt.Printf("  %-12s %v (predicted %.3fs)\n", spec.Name, sol.Allocation[i], sol.PredictedCosts[i])
@@ -143,6 +158,9 @@ func main() {
 		fmt.Printf("  %-12s %10s %10s\n", "workload", "equal", "chosen")
 		var se, sc float64
 		for i, spec := range specs {
+			// Predicted-vs-measured is exactly a calibration residual:
+			// fold it into the per-workload drift gauges.
+			hub.Tenant(spec.Name).ObserveResidual(sol.PredictedCosts[i], chosen[i])
 			fmt.Printf("  %-12s %9.3fs %9.3fs\n", spec.Name, equal[i], chosen[i])
 			se += equal[i]
 			sc += chosen[i]

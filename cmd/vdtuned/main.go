@@ -33,6 +33,7 @@ import (
 	"dbvirt/internal/faults"
 	"dbvirt/internal/obs"
 	"dbvirt/internal/server"
+	"dbvirt/internal/telemetry"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
@@ -55,6 +56,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to finish accepted work on shutdown")
 	reqTimeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	jobs := flag.Int("j", 0, "solver parallelism (0 = GOMAXPROCS)")
+	teleWindow := flag.Int("telemetry-window", 0, "sketch updates per drift window (0 = default 64)")
+	reqWindow := flag.Duration("request-window", time.Minute, "span of the sliding-window request-latency histogram")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -66,7 +69,22 @@ func main() {
 	if handled {
 		return
 	}
-	defer closeObs()
+	// closeObs flushes -trace-out and -metrics-out. It runs both as a
+	// defer (normal exits) and explicitly at the end of a clean drain, so
+	// a SIGTERM'd daemon persists its telemetry before the process ends
+	// (fail() uses os.Exit, which skips defers — nothing to flush on
+	// those paths anyway).
+	flushed := false
+	flushObs := func() {
+		if flushed {
+			return
+		}
+		flushed = true
+		if err := closeObs(); err != nil {
+			fmt.Fprintf(os.Stderr, "vdtuned: telemetry flush: %v\n", err)
+		}
+	}
+	defer flushObs()
 
 	var env *experiments.Env
 	switch *scale {
@@ -97,6 +115,8 @@ func main() {
 		DefaultTimeout: *reqTimeout,
 		Parallelism:    *jobs,
 		Obs:            tel,
+		Telemetry:      telemetry.NewHub(telemetry.Config{Window: *teleWindow}),
+		RequestWindow:  *reqWindow,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -127,6 +147,7 @@ func main() {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		httpSrv.Close()
 	}
+	flushObs()
 	fmt.Println("vdtuned: drained, exiting")
 }
 

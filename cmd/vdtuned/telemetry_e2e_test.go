@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbvirt/internal/obs"
+)
+
+// TestTelemetryEndToEnd builds the real binary, drives what-if load at
+// it, and validates the full observability surface at the process
+// boundary: /metrics must be valid Prometheus text exposition carrying
+// non-zero telemetry counters, traceparent must round-trip, and
+// /debug/flightrecorder and /debug/telemetry must reflect the traffic.
+// This is the same contract the CI telemetry-e2e job enforces with curl.
+func TestTelemetryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vdtuned binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "vdtuned")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	defer os.Remove(bin)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-scale", "tiny", "-telemetry-window", "8")
+	var stderr bytes.Buffer
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	ready := make(chan struct{})
+	var mu sync.Mutex
+	var out bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		once := sync.Once{}
+		for sc.Scan() {
+			mu.Lock()
+			fmt.Fprintln(&out, sc.Text())
+			mu.Unlock()
+			if strings.Contains(sc.Text(), "listening on") {
+				once.Do(func() { close(ready) })
+			}
+		}
+	}()
+	readLogs := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.String() + stderr.String()
+	}
+	select {
+	case <-ready:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never reported readiness; output:\n%s", readLogs())
+	}
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Drive a small batch of what-if requests, joined to one trace.
+	const parent = "00-deadbeefdeadbeefdeadbeefdeadbeef-badc0ffeebadf00d-01"
+	whatif := `{"workloads":[{"name":"acme","query":"Q4","repeat":2}],
+		"allocations":[{"cpu":0.5,"memory":0.5,"io":0.5}]}`
+	for i := 0; i < 4; i++ {
+		req, err := http.NewRequest(http.MethodPost, base+"/v1/whatif", strings.NewReader(whatif))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("traceparent", parent)
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("whatif %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("whatif %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		sc, err := obs.ParseTraceparent(resp.Header.Get("traceparent"))
+		if err != nil {
+			t.Fatalf("whatif %d: response traceparent: %v", i, err)
+		}
+		if sc.TraceIDString() != "deadbeefdeadbeefdeadbeefdeadbeef" {
+			t.Fatalf("whatif %d: trace not continued: %s", i, sc.TraceIDString())
+		}
+	}
+
+	// Scrape /metrics and validate with the strict exposition parser —
+	// exactly what CI's promtool-less pipeline does.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("/metrics Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	samples, err := obs.ParsePrometheusText(bytes.NewReader(promBody))
+	if err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v\n%s", err, promBody)
+	}
+	if v, ok := samples["telemetry_sketch_updates"]; !ok || v.Value <= 0 {
+		t.Fatalf("telemetry_sketch_updates missing or zero (ok=%v v=%+v)", ok, v)
+	}
+	if v, ok := samples["server_http_whatif_count"]; !ok || v.Value < 4 {
+		t.Fatalf("server_http_whatif_count = %+v, want >= 4", v)
+	}
+
+	// The per-tenant snapshot must show the named tenant with traffic.
+	resp, err = client.Get(base + "/debug/telemetry")
+	if err != nil {
+		t.Fatalf("/debug/telemetry: %v", err)
+	}
+	var tele struct {
+		Tenants []struct {
+			Name    string `json:"name"`
+			Updates int64  `json:"updates"`
+		} `json:"tenants"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&tele)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/telemetry: %v", err)
+	}
+	found := false
+	for _, ten := range tele.Tenants {
+		if ten.Name == "acme" && ten.Updates > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tenant acme missing from /debug/telemetry: %+v", tele.Tenants)
+	}
+
+	// The flight recorder must carry the trace the load ran under.
+	resp, err = client.Get(base + "/debug/flightrecorder")
+	if err != nil {
+		t.Fatalf("/debug/flightrecorder: %v", err)
+	}
+	var flight struct {
+		Records []obs.FlightRecord `json:"records"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&flight)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/debug/flightrecorder: %v", err)
+	}
+	sawTrace := false
+	for _, fr := range flight.Records {
+		if fr.TraceID == "deadbeefdeadbeefdeadbeefdeadbeef" && fr.Status == 200 {
+			sawTrace = true
+		}
+	}
+	if !sawTrace {
+		t.Fatalf("load trace missing from flight recorder (%d records)", len(flight.Records))
+	}
+
+	// Healthz carries build identity and drain state.
+	resp, err = client.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	var hr struct {
+		Status        string  `json:"status"`
+		Version       string  `json:"version"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Draining      bool    `json:"draining"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&hr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/healthz: %v", err)
+	}
+	if hr.Status != "ok" || hr.Version == "" || hr.Draining {
+		t.Fatalf("/healthz body = %+v", hr)
+	}
+
+	cmd.Process.Kill()
+	cmd.Wait()
+}

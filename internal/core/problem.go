@@ -55,6 +55,23 @@ type WorkloadSpec struct {
 	// SLOSeconds, if positive, is a latency target; cost above it incurs
 	// the problem's SLO penalty (a Section 7 extension).
 	SLOSeconds float64
+
+	normOnce  sync.Once
+	normStmts []string
+}
+
+// NormalizedStatements returns the spec's statements in NormalizeSQL
+// canonical form, computed once per spec — the identity stream fed into
+// per-tenant workload sketches. Interned specs make the cache effective:
+// every request naming the same workload shares one normalization.
+func (w *WorkloadSpec) NormalizedStatements() []string {
+	w.normOnce.Do(func() {
+		w.normStmts = make([]string, len(w.Statements))
+		for i, s := range w.Statements {
+			w.normStmts[i] = NormalizeSQL(s)
+		}
+	})
+	return w.normStmts
 }
 
 func (w *WorkloadSpec) weight() float64 {

@@ -56,6 +56,17 @@ func DefaultConfig() Config {
 	return Config{BufferFrac: 0.75, WorkMemFrac: 0.15}
 }
 
+// ExecObserver receives one record per executed statement: the raw SQL
+// text, the optimizer's predicted seconds under the session's parameters
+// (0 when the parameters are not time-calibrated), and the VM-simulated
+// actual seconds. Implementations normalize the SQL themselves (the
+// engine cannot depend on higher layers) and feed per-tenant workload
+// sketches and calibration-drift residuals. Observers must be cheap and
+// must not call back into the session.
+type ExecObserver interface {
+	ObserveExec(sql string, predictedSeconds, actualSeconds float64)
+}
+
 // Session executes SQL for one database inside one virtual machine.
 type Session struct {
 	DB     *Database
@@ -66,6 +77,10 @@ type Session struct {
 	// start as PostgreSQL-like defaults sized to this session's memory
 	// and may be replaced with calibrated values.
 	Params optimizer.Params
+	// Observer, when non-nil, is notified after every executed SELECT
+	// (RunStatement) and every EXPLAIN ANALYZE with the statement's
+	// predicted and actual simulated seconds.
+	Observer ExecObserver
 }
 
 // NewSession binds a database to a VM.
@@ -326,7 +341,7 @@ func (s *Session) Explain(src string) (string, error) {
 				return "", err
 			}
 			if ex.Analyze {
-				return s.explainAnalyzePlan(pl)
+				return s.explainAnalyzePlan(trimmed, pl)
 			}
 			return pl.Explain(), nil
 		}
@@ -348,12 +363,14 @@ func (s *Session) ExplainAnalyze(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return s.explainAnalyzePlan(pl)
+	return s.explainAnalyzePlan(src, pl)
 }
 
 // explainAnalyzePlan executes an already-optimized plan with statistics
-// collection and renders the annotated tree.
-func (s *Session) explainAnalyzePlan(pl *optimizer.Plan) (string, error) {
+// collection and renders the annotated tree. src is the statement text
+// reported to the session's Observer alongside the predicted-vs-actual
+// seconds pair.
+func (s *Session) explainAnalyzePlan(src string, pl *optimizer.Plan) (string, error) {
 	ctx := s.execContext()
 	ctx.Stats = executor.NewStatsCollector()
 	start := s.VM.Snapshot()
@@ -386,17 +403,25 @@ func (s *Session) explainAnalyzePlan(pl *optimizer.Plan) (string, error) {
 			return "never executed"
 		}
 		actual := fmt.Sprintf("actual time=%.6fs rows=%d loops=%d",
-			st.Usage.Elapsed(overlap), st.Rows, st.Loops)
-		if pl.Params.TimePerSeqPage > 0 {
+			st.Seconds(overlap), st.Rows, st.Loops)
+		if pl.Params.Calibrated() {
 			return fmt.Sprintf("est time=%.6fs, %s",
 				pl.Params.EstimateSeconds(n.Cost()), actual)
 		}
 		return actual
 	})
+	actual := s.VM.ElapsedSince(start)
 	out += fmt.Sprintf(
 		"actual: %d rows, %.6fs simulated (cpu %.6fs, io %.6fs; %d seq + %d rand reads, %d writes)\n",
-		produced, s.VM.ElapsedSince(start), used.CPUSeconds, used.IOSeconds,
+		produced, actual, used.CPUSeconds, used.IOSeconds,
 		used.SeqReads, used.RandReads, used.Writes)
+	if s.Observer != nil {
+		var predicted float64
+		if pl.Params.Calibrated() {
+			predicted = pl.EstimatedSeconds()
+		}
+		s.Observer.ObserveExec(src, predicted, actual)
+	}
 	return out, nil
 }
 
@@ -406,7 +431,18 @@ func (s *Session) explainAnalyzePlan(pl *optimizer.Plan) (string, error) {
 func (s *Session) RunStatement(src string) (int64, error) {
 	trimmed := strings.TrimSpace(strings.ToUpper(src))
 	if strings.HasPrefix(trimmed, "SELECT") {
-		res, err := s.Query(src)
+		pl, err := s.Plan(src, s.Params)
+		if err != nil {
+			return 0, err
+		}
+		// The prediction is only computed when someone is listening: the
+		// estimate walk is wasted work on the hot measured-model path.
+		var predicted float64
+		if s.Observer != nil && pl.Params.Calibrated() {
+			predicted = pl.EstimatedSeconds()
+		}
+		start := s.VM.Snapshot()
+		res, err := executor.Run(pl, s.execContext())
 		if err != nil {
 			return 0, err
 		}
@@ -418,6 +454,9 @@ func (s *Session) RunStatement(src string) (int64, error) {
 				return n, err
 			}
 			if !ok {
+				if s.Observer != nil {
+					s.Observer.ObserveExec(src, predicted, s.VM.ElapsedSince(start))
+				}
 				return n, nil
 			}
 			n++

@@ -19,6 +19,16 @@ type NodeStats struct {
 	Usage vm.Usage
 }
 
+// Seconds returns the operator's inclusive simulated time under the
+// machine's CPU/IO overlap factor — the "actual time" half of an
+// estimate-vs-actual residual.
+func (s *NodeStats) Seconds(overlap float64) float64 {
+	if s == nil {
+		return 0
+	}
+	return s.Usage.Elapsed(overlap)
+}
+
 // StatsCollector accumulates per-node execution statistics when attached
 // to a Context.
 type StatsCollector struct {

@@ -22,11 +22,35 @@ func publishExpvar() {
 	})
 }
 
+// HandleMetricsProm serves the Global registry in the Prometheus text
+// exposition format.
+func HandleMetricsProm(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	Global.WritePrometheus(w)
+}
+
+// HandleMetricsJSON serves the Global registry snapshot as JSON. Map
+// keys are emitted sorted by encoding/json, so two snapshots of the same
+// state are byte-identical.
+func HandleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	Global.WriteJSON(w)
+}
+
+// HandleFlightRecorder serves the process flight recorder as JSON,
+// oldest record first.
+func HandleFlightRecorder(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	Flight.WriteJSON(w)
+}
+
 // ServeDebug starts an HTTP debug endpoint on addr in a background
 // goroutine, exposing /debug/vars (expvar, including the Global metrics
-// registry), /debug/pprof, and /metrics (the registry snapshot as plain
-// JSON). It returns the bound address (useful with ":0") or an error if
-// the listener cannot be created.
+// registry), /debug/pprof, /metrics (Prometheus text format),
+// /debug/metrics (the same registry as deterministic JSON), and
+// /debug/flightrecorder (the recent-request ring buffer). It returns the
+// bound address (useful with ":0") or an error if the listener cannot be
+// created.
 func ServeDebug(addr string) (string, error) {
 	publishExpvar()
 	mux := http.NewServeMux()
@@ -36,10 +60,9 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		Global.WriteJSON(w)
-	})
+	mux.HandleFunc("/metrics", HandleMetricsProm)
+	mux.HandleFunc("/debug/metrics", HandleMetricsJSON)
+	mux.HandleFunc("/debug/flightrecorder", HandleFlightRecorder)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

@@ -222,6 +222,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	windows    map[string]*WindowedHistogram
 	extras     map[string]func() any
 }
 
@@ -231,6 +232,7 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		windows:    make(map[string]*WindowedHistogram),
 		extras:     make(map[string]func() any),
 	}
 }
@@ -286,6 +288,26 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Window returns (creating if needed) the named sliding-window
+// histogram. Like the other constructors it is idempotent: the first
+// call fixes the window geometry, later calls return the same instance
+// regardless of their arguments.
+func (r *Registry) Window(name string, slots int, slotDur time.Duration) *WindowedHistogram {
+	r.mu.RLock()
+	h, ok := r.windows[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.windows[name]; !ok {
+		h = NewWindowedHistogram(slots, slotDur, nil)
+		r.windows[name] = h
+	}
+	return h
+}
+
 // SetExtra registers a callback whose result is embedded under the given
 // key in every snapshot — e.g. a per-figure summary built by a CLI.
 func (r *Registry) SetExtra(key string, fn func() any) {
@@ -323,6 +345,7 @@ type MetricsSnapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]float64           `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
+	Windows    map[string]HistogramSnapshot `json:"windows,omitempty"`
 	Extra      map[string]any               `json:"extra,omitempty"`
 }
 
@@ -343,6 +366,12 @@ func (r *Registry) Snapshot() MetricsSnapshot {
 	}
 	for n, h := range r.histograms {
 		s.Histograms[n] = h.snapshot()
+	}
+	if len(r.windows) > 0 {
+		s.Windows = make(map[string]HistogramSnapshot, len(r.windows))
+		for n, h := range r.windows {
+			s.Windows[n] = h.Snapshot()
+		}
 	}
 	if len(r.extras) > 0 {
 		s.Extra = make(map[string]any, len(r.extras))

@@ -1,0 +1,321 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Prometheus text exposition format (version
+// 0.0.4) over the metrics registry, plus a strict parser used by tests
+// and the CI e2e job to prove the exposition stays valid. Counters map
+// to counter families, gauges to gauge families, and histograms (and
+// sliding-window snapshots) to summary families with quantile labels —
+// all emitted in sorted name order so scrapes are deterministic.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a legal Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the registry's namespace
+// separator) and any other illegal byte become underscores.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			c = '_'
+		}
+		b.WriteByte(c)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promValue formats a sample value; Prometheus spells the specials
+// "+Inf", "-Inf", and "NaN".
+func promValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// writeSummary emits one histogram snapshot as a Prometheus summary
+// family.
+func writeSummary(w io.Writer, name string, s HistogramSnapshot) error {
+	_, err := fmt.Fprintf(w, "# TYPE %s summary\n%s{quantile=\"0.5\"} %s\n%s{quantile=\"0.95\"} %s\n%s{quantile=\"0.99\"} %s\n%s_sum %s\n%s_count %d\n",
+		name,
+		name, promValue(s.P50),
+		name, promValue(s.P95),
+		name, promValue(s.P99),
+		name, promValue(s.Sum),
+		name, s.Count)
+	return err
+}
+
+// WritePrometheus writes the registry's counters, gauges, histograms,
+// and sliding-window snapshots in the Prometheus text exposition format,
+// sorted by metric name within each kind. Extras (opaque JSON callbacks)
+// are omitted: they have no scalar representation.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	bw := bufio.NewWriter(w)
+
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", pn, pn, promValue(s.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeSummary(bw, promName(n), s.Histograms[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range s.Windows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := writeSummary(bw, promName(n), s.Windows[n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// PromSample is one parsed exposition sample: the metric name, its
+// (possibly empty) raw label block, and the value.
+type PromSample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParsePrometheusText is a strict parser for the text exposition format,
+// used to validate /metrics output in tests and CI: it checks every line
+// against the grammar (comment, TYPE/HELP declaration, or sample), that
+// metric names are legal, that TYPE declarations name a known type and
+// precede their family's samples, and that every value parses. It
+// returns the samples keyed by name+labels.
+func ParsePrometheusText(r io.Reader) (map[string]PromSample, error) {
+	samples := make(map[string]PromSample)
+	typed := make(map[string]string)
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				continue // bare comment
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: malformed TYPE comment %q", lineNo, line)
+				}
+				if !validPromName(fields[2]) {
+					return nil, fmt.Errorf("line %d: illegal metric name %q", lineNo, fields[2])
+				}
+				switch fields[3] {
+				case "counter", "gauge", "summary", "histogram", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := typed[fields[2]]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				if seen[fields[2]] {
+					return nil, fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, fields[2])
+				}
+				typed[fields[2]] = fields[3]
+			case "HELP":
+				if len(fields) < 3 {
+					return nil, fmt.Errorf("line %d: malformed HELP comment %q", lineNo, line)
+				}
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		seen[baseFamily(name)] = true
+		key := name + labels
+		if _, dup := samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", lineNo, key)
+		}
+		samples[key] = PromSample{Name: name, Labels: labels, Value: value}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no samples in exposition")
+	}
+	return samples, nil
+}
+
+// baseFamily strips the _sum/_count suffixes summary samples carry.
+func baseFamily(name string) string {
+	name = strings.TrimSuffix(name, "_sum")
+	return strings.TrimSuffix(name, "_count")
+}
+
+func validPromName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parsePromSample splits `name[{labels}] value [timestamp]`.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels = rest[i : j+1]
+		if err := validateLabels(labels); err != nil {
+			return "", "", 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if !validPromName(name) {
+		return "", "", 0, fmt.Errorf("illegal metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	v, perr := parsePromValue(fields[0])
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", fields[0], perr)
+	}
+	if len(fields) == 2 {
+		if _, terr := strconv.ParseInt(fields[1], 10, 64); terr != nil {
+			return "", "", 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, v, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validateLabels checks a raw {k="v",...} block: legal label names and
+// properly quoted values.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.IndexByte(inner, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label pair")
+		}
+		lname := strings.TrimSpace(inner[:eq])
+		if !validPromName(lname) {
+			return fmt.Errorf("illegal label name %q", lname)
+		}
+		rest := inner[eq+1:]
+		if len(rest) < 2 || rest[0] != '"' {
+			return fmt.Errorf("unquoted label value")
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value")
+		}
+		inner = strings.TrimPrefix(strings.TrimSpace(rest[end+1:]), ",")
+		inner = strings.TrimSpace(inner)
+	}
+	return nil
+}

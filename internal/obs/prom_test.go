@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusRoundTrip exposes a populated registry and feeds the
+// output back through the strict parser: every metric must survive with
+// its value intact, proving the exposition is well-formed.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core.solve.count").Add(7)
+	r.Gauge("vdtuned.inflight").Set(2.5)
+	h := r.Histogram("server.request.seconds")
+	for _, v := range []float64{0.001, 0.002, 0.004, 0.1} {
+		h.Observe(v)
+	}
+	w := r.Window("server.request.window.seconds", 6, 10*time.Second)
+	w.Observe(0.05)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParsePrometheusText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if got := samples["core_solve_count"].Value; got != 7 {
+		t.Fatalf("counter sample = %g, want 7", got)
+	}
+	if got := samples["vdtuned_inflight"].Value; got != 2.5 {
+		t.Fatalf("gauge sample = %g, want 2.5", got)
+	}
+	if got := samples["server_request_seconds_count"].Value; got != 4 {
+		t.Fatalf("summary count = %g, want 4", got)
+	}
+	if got := samples[`server_request_seconds{quantile="0.5"}`]; got.Value <= 0 {
+		t.Fatalf("missing or zero p50 quantile sample: %+v", got)
+	}
+	if got := samples["server_request_window_seconds_count"].Value; got != 1 {
+		t.Fatalf("window summary count = %g, want 1", got)
+	}
+}
+
+// TestWritePrometheusSpecialValues: an empty histogram carries ±Inf
+// min/max internally but must still expose parseable samples, and NaN
+// gauges must round-trip through the special spellings.
+func TestWritePrometheusSpecialValues(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g.nan").Set(math.NaN())
+	r.Gauge("g.inf").Set(math.Inf(1))
+	r.Histogram("h.empty")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	samples, err := ParsePrometheusText(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("special values break the exposition: %v\n%s", err, buf.String())
+	}
+	if !math.IsNaN(samples["g_nan"].Value) {
+		t.Fatalf("NaN gauge = %g", samples["g_nan"].Value)
+	}
+	if !math.IsInf(samples["g_inf"].Value, 1) {
+		t.Fatalf("+Inf gauge = %g", samples["g_inf"].Value)
+	}
+}
+
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"core.solve.count": "core_solve_count",
+		"9lives":           "_lives",
+		"a-b c":            "a_b_c",
+		"ok_name:x":        "ok_name:x",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParsePrometheusTextRejects feeds malformed expositions through the
+// parser; each must be rejected.
+func TestParsePrometheusTextRejects(t *testing.T) {
+	bad := map[string]string{
+		"empty":             "",
+		"bare name":         "just_a_name\n",
+		"bad value":         "m notanumber\n",
+		"bad name":          "1m 3\n",
+		"unknown type":      "# TYPE m sparkline\nm 1\n",
+		"malformed type":    "# TYPE m\nm 1\n",
+		"duplicate type":    "# TYPE m counter\n# TYPE m counter\nm 1\n",
+		"type after sample": "m 1\n# TYPE m counter\n",
+		"duplicate sample":  "m 1\nm 2\n",
+		"unterminated lbls": "m{a=\"b 1\n",
+		"unquoted label":    "m{a=b} 1\n",
+		"bad timestamp":     "m 1 notatime\n",
+	}
+	for name, text := range bad {
+		if _, err := ParsePrometheusText(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: parser accepted %q", name, text)
+		}
+	}
+	good := "# HELP m helpful\n# TYPE m counter\nm 1 1700000000\nn{a=\"x\",b=\"y\"} 2.5\n"
+	if _, err := ParsePrometheusText(strings.NewReader(good)); err != nil {
+		t.Errorf("parser rejected valid exposition: %v", err)
+	}
+}
+
+// TestWindowedHistogramSlides drives a fake clock: observations age out
+// of the window, and the snapshot merges only live slots.
+func TestWindowedHistogramSlides(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	w := NewWindowedHistogram(3, 10*time.Second, clock)
+
+	w.Observe(1.0)
+	w.Observe(3.0)
+	now = now.Add(10 * time.Second)
+	w.Observe(5.0)
+
+	s := w.Snapshot()
+	if s.Count != 3 || s.Sum != 9.0 || s.Min != 1.0 || s.Max != 5.0 {
+		t.Fatalf("merged snapshot wrong: %+v", s)
+	}
+
+	// Advance two more slots: the first slot (1.0, 3.0) falls out.
+	now = now.Add(20 * time.Second)
+	s = w.Snapshot()
+	if s.Count != 1 || s.Sum != 5.0 {
+		t.Fatalf("old slot not expired: %+v", s)
+	}
+
+	// Far future: everything expires; idle snapshot is zero.
+	now = now.Add(time.Hour)
+	if s = w.Snapshot(); s.Count != 0 || s.Sum != 0 {
+		t.Fatalf("window did not drain: %+v", s)
+	}
+
+	// A slot index reused after wraparound must reset, not accumulate.
+	w.Observe(2.0)
+	if s = w.Snapshot(); s.Count != 1 || s.Sum != 2.0 {
+		t.Fatalf("slot reuse leaked stale data: %+v", s)
+	}
+	if s.P50 <= 0 || s.P99 < s.P50 {
+		t.Fatalf("quantiles inconsistent: %+v", s)
+	}
+}
+
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	w := NewWindowedHistogram(4, time.Second, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				w.Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := w.Snapshot(); s.Count != 4000 {
+		t.Fatalf("count %d, want 4000", s.Count)
+	}
+}
+
+func TestRegistryWindowIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Window("w", 4, time.Second)
+	b := r.Window("w", 99, time.Hour)
+	if a != b {
+		t.Fatal("Window not idempotent")
+	}
+	a.Observe(1)
+	snap := r.Snapshot()
+	if snap.Windows["w"].Count != 1 {
+		t.Fatalf("registry snapshot missing window: %+v", snap.Windows)
+	}
+}
+
+// TestTraceparent exercises the W3C parser and formatter.
+func TestTraceparent(t *testing.T) {
+	const h = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	sc, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("ParseTraceparent: %v", err)
+	}
+	if !sc.Valid() || !sc.Sampled() {
+		t.Fatalf("parsed context invalid: %+v", sc)
+	}
+	if got := sc.Traceparent(); got != h {
+		t.Fatalf("round trip %q != %q", got, h)
+	}
+	if sc.TraceIDString() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id %q", sc.TraceIDString())
+	}
+
+	child := sc.NewChild()
+	if child.TraceID != sc.TraceID || child.SpanID == sc.SpanID {
+		t.Fatal("NewChild must keep trace id and change span id")
+	}
+
+	fresh := NewSpanContext()
+	if !fresh.Valid() || !fresh.Sampled() {
+		t.Fatalf("NewSpanContext invalid: %+v", fresh)
+	}
+
+	ctx := WithSpanContext(context.Background(), sc)
+	got, ok := SpanContextFrom(ctx)
+	if !ok || got != sc {
+		t.Fatal("context round trip failed")
+	}
+	if _, ok := SpanContextFrom(context.Background()); ok {
+		t.Fatal("empty context reported a span context")
+	}
+
+	bad := []string{
+		"",
+		"00-short-00f067aa0ba902b7-01",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-short-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01", // zero span id
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // reserved version
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	}
+	for _, b := range bad {
+		if _, err := ParseTraceparent(b); err == nil {
+			t.Errorf("accepted bad traceparent %q", b)
+		}
+	}
+}
+
+// TestFlightRecorderWraparound fills the ring past capacity and checks
+// order, bounds, and sequence numbers.
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	if f.Len() != 0 || f.Snapshot() != nil && len(f.Snapshot()) != 0 {
+		t.Fatal("fresh recorder not empty")
+	}
+	for i := 0; i < 10; i++ {
+		f.Record(FlightRecord{Path: "/v1/whatif", Status: 200 + i})
+	}
+	recs := f.Snapshot()
+	if len(recs) != 4 || f.Len() != 4 {
+		t.Fatalf("ring holds %d records, want 4", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(6+i) || r.Status != 206+i {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"records"`) {
+		t.Fatalf("JSON missing records key: %s", buf.String())
+	}
+
+	var nilRec *FlightRecorder
+	nilRec.Record(FlightRecord{})
+	if nilRec.Snapshot() != nil || nilRec.Len() != 0 {
+		t.Fatal("nil recorder not a no-op")
+	}
+}

@@ -100,6 +100,12 @@ func (p Params) planShapeEqual(o Params) bool {
 		p.WorkMemBytes == o.WorkMemBytes
 }
 
+// Calibrated reports whether the seconds conversion is active: a vector
+// without a measured TimePerSeqPage estimates in abstract cost units,
+// not seconds, so estimate-vs-actual residuals are only meaningful when
+// Calibrated is true.
+func (p Params) Calibrated() bool { return p.TimePerSeqPage > 0 }
+
 // EstimateSeconds converts a plan cost (in seq-page units) to estimated
 // seconds using the calibrated time of one sequential page fetch. The
 // cost's CPU component overlaps its I/O component by the calibrated

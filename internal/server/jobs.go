@@ -42,6 +42,7 @@ var (
 type job struct {
 	id  string
 	req SolveRequest
+	sc  obs.SpanContext // submitting request's trace context
 
 	mu     sync.Mutex
 	state  string
@@ -156,8 +157,9 @@ func (m *jobManager) execute(j *job) {
 	}
 }
 
-// submit queues one job, enforcing drain and queue bounds.
-func (m *jobManager) submit(req SolveRequest) (*job, error) {
+// submit queues one job, enforcing drain and queue bounds. sc is the
+// submitting request's trace context, carried across the async boundary.
+func (m *jobManager) submit(req SolveRequest, sc obs.SpanContext) (*job, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
@@ -167,6 +169,7 @@ func (m *jobManager) submit(req SolveRequest) (*job, error) {
 	j := &job{
 		id:    fmt.Sprintf("j-%d", m.seq),
 		req:   req,
+		sc:    sc,
 		state: jobQueued,
 		done:  make(chan struct{}),
 	}

@@ -9,6 +9,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"dbvirt/internal/experiments"
 	"dbvirt/internal/obs"
 	"dbvirt/internal/optimizer"
+	"dbvirt/internal/telemetry"
 	"dbvirt/internal/vm"
 	"dbvirt/internal/workload"
 )
@@ -76,6 +78,14 @@ type Config struct {
 	// Obs receives spans and logs; nil disables both (metrics are always
 	// recorded against the process-global registry).
 	Obs *obs.Telemetry
+	// Telemetry is the per-tenant workload-telemetry hub fed by every
+	// what-if request. Default: a hub with default sketch/drift parameters
+	// over the global registry.
+	Telemetry *telemetry.Hub
+	// RequestWindow is the total span of the sliding-window request
+	// latency histogram exposed as server.http.window.seconds (default
+	// 60s, split into 6 slots).
+	RequestWindow time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -124,6 +134,12 @@ func (c *Config) applyDefaults() error {
 	if c.CoalesceMemo == 0 {
 		c.CoalesceMemo = 256
 	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewHub(telemetry.Config{})
+	}
+	if c.RequestWindow <= 0 {
+		c.RequestWindow = time.Minute
+	}
 	return nil
 }
 
@@ -137,12 +153,14 @@ func specCacheKey(w *core.WorkloadSpec) string {
 // Server is the vdtuned daemon: handlers, shared session state, and the
 // drain machinery. Create with New, expose via Handler, stop with Drain.
 type Server struct {
-	cfg  Config
-	wl   *workloadSet
-	col  *coalescer
-	jobs *jobManager
-	lim  *limiter
-	mux  *http.ServeMux
+	cfg     Config
+	wl      *workloadSet
+	col     *coalescer
+	jobs    *jobManager
+	lim     *limiter
+	mux     *http.ServeMux
+	started time.Time
+	hWindow *obs.WindowedHistogram // sliding-window request latency
 
 	draining atomic.Bool
 	inflight sync.WaitGroup // tracked /v1/* requests, for drain
@@ -158,9 +176,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.Env.Obs = cfg.Obs
 	}
 	s := &Server{
-		cfg: cfg,
-		col: newCoalescer(cfg.CoalesceMemo),
-		lim: newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		cfg:     cfg,
+		col:     newCoalescer(cfg.CoalesceMemo),
+		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
+		started: time.Now(),
+		hWindow: obs.Global.Window("server.http.window.seconds", 6, cfg.RequestWindow/6),
 	}
 	s.wl = newWorkloadSet(cfg.Env)
 	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueue, cfg.MaxJobs, s.runSolve)
@@ -190,10 +210,10 @@ func (s *Server) routes() {
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.track(s.handleJobCancel)))
 	s.mux.Handle("GET /v1/calibration/grid", s.instrument("grid", s.handleGrid))
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
-	s.mux.HandleFunc("GET /debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		obs.Global.WriteJSON(w)
-	})
+	s.mux.HandleFunc("GET /metrics", obs.HandleMetricsProm)
+	s.mux.HandleFunc("GET /debug/metrics", obs.HandleMetricsJSON)
+	s.mux.HandleFunc("GET /debug/flightrecorder", obs.HandleFlightRecorder)
+	s.mux.HandleFunc("GET /debug/telemetry", s.handleTelemetry)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -201,9 +221,34 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
+// statusWriter captures the response status code for the flight
+// recorder; an unset code means an implicit 200 from the first Write.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
 // instrument wraps a handler with the per-endpoint latency histogram and
-// request counter (server.http.<route>.seconds / .count) plus the
-// process-wide in-flight gauge.
+// request counter (server.http.<route>.seconds / .count), the
+// process-wide in-flight gauge and sliding-window latency histogram, W3C
+// trace-context propagation (an incoming traceparent header is continued
+// with a fresh span ID; absent or malformed ones start a new trace; the
+// request's identity is echoed in the response traceparent header), and
+// a flight-recorder entry per completed request.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	count := obs.Global.Counter("server.http." + route + ".count")
 	hist := obs.Global.Histogram("server.http." + route + ".seconds")
@@ -211,12 +256,34 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		count.Inc()
 		gInflight.Set(float64(inflight.Add(1)))
+
+		sc, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			sc = obs.NewSpanContext()
+		} else {
+			sc = sc.NewChild()
+		}
+		w.Header().Set("traceparent", sc.Traceparent())
+		r = r.WithContext(obs.WithSpanContext(r.Context(), sc))
+		sw := &statusWriter{ResponseWriter: w}
+
 		start := time.Now()
 		defer func() {
-			hist.ObserveSince(start)
+			dur := time.Since(start)
+			hist.Observe(dur.Seconds())
+			s.hWindow.Observe(dur.Seconds())
 			gInflight.Set(float64(inflight.Add(-1)))
+			obs.Flight.Record(obs.FlightRecord{
+				Time:    start,
+				TraceID: sc.TraceIDString(),
+				SpanID:  sc.SpanIDString(),
+				Method:  r.Method,
+				Path:    r.URL.Path,
+				Status:  sw.status(),
+				Micros:  dur.Microseconds(),
+			})
 		}()
-		h(w, r)
+		h(sw, r)
 	})
 }
 
@@ -263,11 +330,19 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 
+	sp := s.cfg.Obs.Span("server.whatif")
+	if sc, ok := obs.SpanContextFrom(ctx); ok {
+		sc.Annotate(sp)
+	}
+	defer sp.End()
+
 	body, err := s.col.do(ctx, req.coalesceKey(), func() ([]byte, error) {
 		release, ok := s.lim.acquire(ctx)
 		if !ok {
 			return nil, errTooBusy
 		}
+		csp := sp.Child("server.whatif.compute")
+		defer csp.End()
 		defer release()
 		return s.computeWhatIf(ctx, &req)
 	})
@@ -275,8 +350,50 @@ func (s *Server) handleWhatIf(w http.ResponseWriter, r *http.Request) {
 		s.writeComputeError(w, err)
 		return
 	}
+	s.recordWhatIf(&req, body)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
+}
+
+// tenantName maps one workload reference onto its telemetry tenant: the
+// caller-chosen display name when given, else the canonical QUERYxN
+// identity — so unnamed traffic still aggregates sensibly per query.
+func tenantName(ref WorkloadRef) string {
+	if n := strings.TrimSpace(ref.Name); n != "" {
+		return n
+	}
+	n := ref.Repeat
+	if n == 0 {
+		n = 1
+	}
+	return fmt.Sprintf("%sx%d", strings.ToUpper(strings.TrimSpace(ref.Query)), n)
+}
+
+// recordWhatIf streams one answered what-if request into the per-tenant
+// telemetry: every statement's normalized SQL into the workload sketch
+// and the workload's predicted cost row into the reservoir. The response
+// body is decoded rather than the freshly computed matrix so coalesced
+// and memoized hits count as tenant traffic too — the body is a
+// deterministic function of the request, so this is the same data the
+// leader computed.
+func (s *Server) recordWhatIf(req *WhatIfRequest, body []byte) {
+	var resp WhatIfResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return
+	}
+	specs, err := s.wl.resolve(req.Workloads)
+	if err != nil {
+		return
+	}
+	for i, ref := range req.Workloads {
+		ten := s.cfg.Telemetry.Tenant(tenantName(ref))
+		for _, norm := range specs[i].NormalizedStatements() {
+			ten.ObserveQuery(norm)
+		}
+		if i < len(resp.Costs) {
+			ten.ObserveCosts(resp.Costs[i])
+		}
+	}
 }
 
 // computeWhatIf prices the request's cost matrix. The response bytes are
@@ -315,7 +432,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	j, err := s.jobs.submit(req)
+	sc, _ := obs.SpanContextFrom(r.Context())
+	j, err := s.jobs.submit(req, sc)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		mAdmissionReject.Inc()
@@ -335,7 +453,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 }
 
 // runSolve executes one queued job; it is the jobManager's run callback.
+// The submitting request's trace context rides on the job, so the solve
+// span joins the same distributed trace even though it runs on a worker
+// goroutine long after the 202 was written.
 func (s *Server) runSolve(ctx context.Context, j *job) (*SolveResult, error) {
+	sp := s.cfg.Obs.Span("server.job.solve")
+	j.sc.Annotate(sp)
+	sp.SetArg("job_id", j.id)
+	defer sp.End()
 	specs, err := s.wl.resolve(j.req.Workloads)
 	if err != nil {
 		return nil, err
@@ -428,12 +553,36 @@ func (s *Server) handleGrid(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, GridResponse{Exact: exact, Params: p, Shares: sh})
 }
 
+// HealthResponse is the /healthz body: liveness plus enough identity to
+// tell which build has been up how long and whether it is draining.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	resp := HealthResponse{
+		Status:        "ok",
+		Version:       obs.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.draining.Load(),
+	}
+	if resp.Draining {
+		resp.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTelemetry serves the per-tenant telemetry snapshot: sketches,
+// drift scores, and residual EWMAs, tenants in name order.
+func (s *Server) handleTelemetry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Tenants []telemetry.TenantSnapshot `json:"tenants"`
+	}{Tenants: s.cfg.Telemetry.Snapshot()})
 }
 
 // Drain gracefully stops the server's work: new work-accepting requests

@@ -1,0 +1,115 @@
+package telemetry
+
+import "math"
+
+// DriftDetector scores how much a tenant's workload mix has shifted
+// between consecutive sketch windows. Each call to Score compares the
+// just-closed window against the previous one with the total-variation
+// Distance, then smooths the raw distance with an EWMA so a single
+// anomalous window does not trip the alarm while a sustained shift does.
+// The detector is a pure deterministic fold over its inputs: the same
+// window sequence always yields the same scores.
+type DriftDetector struct {
+	// Alpha is the EWMA smoothing factor in (0, 1]; higher reacts faster.
+	Alpha float64
+	// Threshold is the smoothed score above which the workload is
+	// considered shifted.
+	Threshold float64
+
+	windows int     // windows scored so far
+	raw     float64 // last raw distance
+	ewma    float64
+}
+
+// NewDriftDetector creates a detector with the given smoothing factor
+// and alarm threshold (defaults: alpha 0.5, threshold 0.25).
+func NewDriftDetector(alpha, threshold float64) *DriftDetector {
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = 0.5
+	}
+	if threshold <= 0 {
+		threshold = 0.25
+	}
+	return &DriftDetector{Alpha: alpha, Threshold: threshold}
+}
+
+// Score folds one closed window (cur) against its predecessor (prev)
+// into the smoothed drift score and returns (raw, smoothed). The first
+// window has no predecessor and scores zero by definition.
+func (d *DriftDetector) Score(prev, cur *TopK) (raw, smoothed float64) {
+	d.windows++
+	if d.windows == 1 {
+		d.raw, d.ewma = 0, 0
+		return 0, 0
+	}
+	d.raw = Distance(prev, cur)
+	if d.windows == 2 {
+		d.ewma = d.raw // initialize the EWMA at the first real distance
+	} else {
+		d.ewma = d.Alpha*d.raw + (1-d.Alpha)*d.ewma
+	}
+	return d.raw, d.ewma
+}
+
+// Raw returns the last unsmoothed window distance.
+func (d *DriftDetector) Raw() float64 { return d.raw }
+
+// Smoothed returns the current EWMA drift score.
+func (d *DriftDetector) Smoothed() float64 { return d.ewma }
+
+// Alarmed reports whether the smoothed score exceeds the threshold.
+func (d *DriftDetector) Alarmed() bool { return d.ewma > d.Threshold }
+
+// ResidualTracker pairs the optimizer's predicted execution time with the
+// measured actual and maintains two EWMA calibration-drift signals:
+//
+//   - RelErr: the smoothed relative error |actual-predicted|/actual — how
+//     far off the cost model is, regardless of direction.
+//   - Bias: the smoothed log-ratio ln(actual/predicted) — which way the
+//     model is off (positive: the model is optimistic; negative:
+//     pessimistic). A well-calibrated model hovers near zero on both.
+//
+// Deterministic fold; not safe for concurrent use (Tenant serializes).
+type ResidualTracker struct {
+	Alpha float64
+
+	samples int64
+	relErr  float64
+	bias    float64
+}
+
+// NewResidualTracker creates a tracker with the given smoothing factor
+// (default 0.2).
+func NewResidualTracker(alpha float64) *ResidualTracker {
+	if !(alpha > 0 && alpha <= 1) {
+		alpha = 0.2
+	}
+	return &ResidualTracker{Alpha: alpha}
+}
+
+// Observe folds one predicted/actual pair. Non-positive or non-finite
+// pairs are ignored: they carry no calibration signal.
+func (t *ResidualTracker) Observe(predicted, actual float64) {
+	if !(predicted > 0) || !(actual > 0) ||
+		math.IsInf(predicted, 0) || math.IsInf(actual, 0) {
+		return
+	}
+	rel := math.Abs(actual-predicted) / actual
+	bias := math.Log(actual / predicted)
+	t.samples++
+	if t.samples == 1 {
+		t.relErr, t.bias = rel, bias
+		return
+	}
+	t.relErr = t.Alpha*rel + (1-t.Alpha)*t.relErr
+	t.bias = t.Alpha*bias + (1-t.Alpha)*t.bias
+}
+
+// Samples returns how many pairs were folded.
+func (t *ResidualTracker) Samples() int64 { return t.samples }
+
+// RelErr returns the smoothed relative error.
+func (t *ResidualTracker) RelErr() float64 { return t.relErr }
+
+// Bias returns the smoothed log-ratio bias.
+func (t *ResidualTracker) Bias() float64 { return t.bias }
