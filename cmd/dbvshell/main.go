@@ -8,6 +8,12 @@
 //
 //	echo "SELECT count(*) FROM orders;" | dbvshell -tpch -cpu 0.5 -mem 0.5 -io 0.5
 //	dbvshell -c "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+//	dbvshell -wal /var/lib/dbv -c "BEGIN; INSERT INTO t VALUES (2); COMMIT;"
+//
+// With -wal DIR the engine runs durably: statements are WAL-logged under
+// DIR, the database is recovered on startup (recovery statistics print to
+// stderr), and -checkpoint-every N snapshots the heap after every N
+// statements.
 package main
 
 import (
@@ -48,6 +54,8 @@ func main() {
 	tpch := flag.Bool("tpch", false, "preload the TPC-H-like database (tiny scale)")
 	command := flag.String("c", "", "execute this SQL instead of reading stdin")
 	explain := flag.Bool("explain", false, "print the plan of every SELECT before running it")
+	walDir := flag.String("wal", "", "durable mode: open (recovering if needed) the database in this directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "in durable mode, checkpoint after every N statements (0 = only on explicit CHECKPOINT)")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -71,7 +79,19 @@ func main() {
 	if err != nil {
 		fail("%v", err)
 	}
-	s, err := engine.NewSession(engine.NewDatabase(), v, engine.DefaultConfig())
+	var db *engine.Database
+	if *walDir != "" {
+		var stats *engine.RecoveryStats
+		db, stats, err = engine.Open(*walDir)
+		if err != nil {
+			fail("open %s: %v", *walDir, err)
+		}
+		defer db.Close()
+		fmt.Fprint(os.Stderr, stats.String())
+	} else {
+		db = engine.NewDatabase()
+	}
+	s, err := engine.NewSession(db, v, engine.DefaultConfig())
 	if err != nil {
 		fail("%v", err)
 	}
@@ -95,7 +115,7 @@ func main() {
 		input = string(data)
 	}
 
-	for _, stmt := range splitStatements(input) {
+	for i, stmt := range splitStatements(input) {
 		sp := root.Child("statement")
 		sp.SetArg("sql", firstLine(stmt))
 		ten.ObserveQuery(core.NormalizeSQL(stmt))
@@ -103,6 +123,11 @@ func main() {
 		sp.End()
 		if err != nil {
 			fail("%s: %v", firstLine(stmt), err)
+		}
+		if *ckptEvery > 0 && (i+1)%*ckptEvery == 0 && !s.InTxn() {
+			if err := s.CheckpointDurable(); err != nil {
+				fail("checkpoint: %v", err)
+			}
 		}
 	}
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig 3|4|5|all] [-ablations] [-quick]
+//	experiments [-fig 3|4|5|w|all] [-ablations] [-quick]
 //
 // -quick runs at a reduced scale (smaller machine and dataset); the
 // shapes are preserved.
@@ -24,7 +24,7 @@ import (
 var closeObs = func() error { return nil }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, w (write sensitivity), or all")
 	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
@@ -105,6 +105,18 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatFigure5(res))
+			fmt.Println()
+			return nil
+		})
+	}
+
+	if *fig == "w" || *fig == "all" {
+		run("figure write", func() error {
+			res, err := env.FigureWrite([]float64{0.25, 0.5, 0.75})
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigureWrite(res))
 			fmt.Println()
 			return nil
 		})

@@ -57,6 +57,7 @@ import (
 	"dbvirt/internal/storage"
 	"dbvirt/internal/types"
 	"dbvirt/internal/vm"
+	"dbvirt/internal/wal"
 )
 
 // Always-on calibration metrics (see internal/obs). A "hit" is a cache
@@ -778,6 +779,91 @@ func (c *Calibrator) measure(ctx context.Context, shares vm.Shares, sp *obs.Span
 	spC.SetArg("t_rand", tRand)
 	spC.End()
 
+	// --- Stage D: write-path probes ---
+	// Two insert workloads with identical logical work: wRows autocommit
+	// single-row transactions (wRows log flushes) against one explicit
+	// transaction of wRows inserts (one flush). The elapsed difference per
+	// extra flush is the marginal commit latency — TimePerLogFlush, the
+	// group-commit saving write-bound tenants are sensitive to. The batch
+	// run also reports durable log bytes per logical tuple byte: WriteAmp.
+	spD := sp.Child("calibrate.stage_d.write")
+	const wRows = 64
+	var logicalBytes, logBytes int64
+	runWrite := func(batch bool) (float64, error) {
+		m, err := vm.NewMachine(c.cfg.Machine)
+		if err != nil {
+			return 0, err
+		}
+		v, err := m.NewVM("cal-write", shares)
+		if err != nil {
+			return 0, err
+		}
+		wdb := engine.NewDatabase()
+		if err := wdb.EnableLogging(wal.NewMemDevice(), 1); err != nil {
+			return 0, err
+		}
+		ws, err := engine.NewSession(wdb, v, c.cfg.Engine)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := ws.Exec(`CREATE TABLE cal_write (a INT, b INT)`); err != nil {
+			return 0, err
+		}
+		_, bytesBefore := wdb.LogStats()
+		start := v.Snapshot()
+		if batch {
+			if _, err := ws.Exec("BEGIN"); err != nil {
+				return 0, err
+			}
+		}
+		var lb int64
+		for i := 0; i < wRows; i++ {
+			if _, err := ws.Exec(fmt.Sprintf("INSERT INTO cal_write VALUES (%d, %d)", i, i*7)); err != nil {
+				return 0, err
+			}
+			lb += int64(len(storage.EncodeTuple(storage.Tuple{
+				types.NewInt(int64(i)), types.NewInt(int64(i * 7)),
+			})))
+		}
+		if batch {
+			if _, err := ws.Exec("COMMIT"); err != nil {
+				return 0, err
+			}
+		}
+		el := v.ElapsedSince(start)
+		if batch {
+			_, bytesAfter := wdb.LogStats()
+			logicalBytes, logBytes = lb, bytesAfter-bytesBefore
+		}
+		return el, nil
+	}
+	elSingle, err := c.measureProbe(ctx, probeKey("stage_d", "write-autocommit", shares), &attempts, func() (float64, error) {
+		return runWrite(false)
+	})
+	if err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: write probe (autocommit): %w", err)
+	}
+	elBatch, err := c.measureProbe(ctx, probeKey("stage_d", "write-batch", shares), &attempts, func() (float64, error) {
+		return runWrite(true)
+	})
+	if err != nil {
+		return optimizer.Params{}, fmt.Errorf("calibration: write probe (batch): %w", err)
+	}
+	tFlush := (elSingle - elBatch) / (wRows - 1)
+	if tFlush < 0 {
+		tFlush = 0
+	}
+	writeAmp := 1.0
+	if logicalBytes > 0 && logBytes > logicalBytes {
+		writeAmp = float64(logBytes) / float64(logicalBytes)
+	}
+	spD.SetArg("t_flush", tFlush)
+	spD.SetArg("write_amp", writeAmp)
+	spD.End()
+	c.cfg.Obs.Debug("calibration write fit",
+		"cpu", shares.CPU, "mem", shares.Memory, "io", shares.IO,
+		"t_flush", tFlush, "write_amp", writeAmp)
+
 	// --- Assemble P(R) ---
 	sess, err := c.newMeasureSession(shares)
 	if err != nil {
@@ -800,6 +886,8 @@ func (c *Calibrator) measure(ctx context.Context, shares vm.Shares, sp *obs.Span
 		WorkMemBytes:            sess.Params.WorkMemBytes,
 		TimePerSeqPage:          tSeq,
 		Overlap:                 overlap,
+		TimePerLogFlush:         tFlush,
+		WriteAmp:                writeAmp,
 	}
 	if err := p.Validate(); err != nil {
 		return optimizer.Params{}, fmt.Errorf("calibration: %w", err)

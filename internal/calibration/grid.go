@@ -421,6 +421,8 @@ func avgParams(ps []optimizer.Params) optimizer.Params {
 		workMem += float64(p.WorkMemBytes) * inv
 		out.TimePerSeqPage += p.TimePerSeqPage * inv
 		out.Overlap += p.Overlap * inv
+		out.TimePerLogFlush += p.TimePerLogFlush * inv
+		out.WriteAmp += p.WriteAmp * inv
 	}
 	out.EffectiveCacheSizePages = int64(cache + 0.5)
 	out.WorkMemBytes = int64(workMem + 0.5)
@@ -506,5 +508,7 @@ func lerpParams(a, b optimizer.Params, f float64) optimizer.Params {
 		WorkMemBytes:            int64(l(float64(a.WorkMemBytes), float64(b.WorkMemBytes)) + 0.5),
 		TimePerSeqPage:          l(a.TimePerSeqPage, b.TimePerSeqPage),
 		Overlap:                 l(a.Overlap, b.Overlap),
+		TimePerLogFlush:         l(a.TimePerLogFlush, b.TimePerLogFlush),
+		WriteAmp:                l(a.WriteAmp, b.WriteAmp),
 	}
 }

@@ -12,10 +12,12 @@ import (
 )
 
 // The engine supports scan-based DELETE and UPDATE: the table is scanned,
-// the WHERE predicate evaluated per row, and qualifying rows removed or
-// rewritten with full index maintenance. There is no MVCC or concurrency
-// control — a Database must not be written by two sessions at once — and
-// statistics go stale until the next ANALYZE, as in any real system.
+// the WHERE predicate evaluated per row (against the statement's snapshot),
+// and qualifying rows deleted or rewritten through the transaction machinery
+// in txn.go, which handles index maintenance, undo, and WAL logging. A
+// Database is still single-writer — snapshots serve isolation and crash
+// recovery, not write-write concurrency — and statistics go stale until the
+// next ANALYZE, as in any real system.
 
 // bindTablePredicate binds a WHERE expression against a single table by
 // constructing the equivalent single-relation query.
@@ -65,55 +67,47 @@ func (s *Session) execDelete(del *sql.DeleteStmt) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Collect victims first: mutating the heap mid-scan is undefined.
-	type victim struct {
-		tid storage.TID
-		tup storage.Tuple
-	}
-	var victims []victim
-	err = t.Heap.Scan(s.Pool, func(tid storage.TID, tup storage.Tuple) error {
-		s.VM.AccountCPU(executor.OpsPerTuple)
-		ok, err := pred(plan.Row(tup))
-		if err != nil {
-			return err
-		}
-		if ok {
-			victims = append(victims, victim{tid: tid, tup: tup.Clone()})
-		}
-		return nil
-	})
+	victims, err := s.collectVictims(t, pred)
 	if err != nil {
 		return 0, err
 	}
 	for _, v := range victims {
-		if err := s.deleteRow(t, v.tid, v.tup); err != nil {
+		if err := s.txnDelete(t, v.tid, v.tup); err != nil {
 			return 0, err
 		}
 	}
 	return int64(len(victims)), nil
 }
 
-// deleteRow removes one row and its index entries.
-func (s *Session) deleteRow(t *catalog.Table, tid storage.TID, tup storage.Tuple) error {
-	s.VM.AccountCPU(executor.OpsPerTuple)
-	if err := t.Heap.Delete(s.Pool, tid); err != nil {
-		return err
-	}
-	for _, ix := range t.Indexes {
-		v := tup[ix.Col]
-		if v.IsNull() {
-			continue
+// dmlVictim is one row a DELETE or UPDATE statement will touch.
+type dmlVictim struct {
+	tid storage.TID
+	tup storage.Tuple
+}
+
+// collectVictims scans a table and returns the rows visible to the current
+// transaction's snapshot that match the predicate. Victims are collected
+// before any mutation: the heap must not change mid-scan, and a statement
+// must not see its own inserts (the Halloween problem).
+func (s *Session) collectVictims(t *catalog.Table, pred func(plan.Row) (bool, error)) ([]dmlVictim, error) {
+	vis := s.DB.mvcc.visibility(s.txn.snap)
+	var victims []dmlVictim
+	fid := t.Heap.FileID()
+	err := t.Heap.Scan(s.Pool, func(tid storage.TID, tup storage.Tuple) error {
+		if vis != nil && !vis(fid, tid) {
+			return nil
 		}
-		s.VM.AccountCPU(executor.OpsPerIndexTuple)
-		ok, err := ix.Tree.Delete(s.Pool, v.I, tid)
+		s.VM.AccountCPU(executor.OpsPerTuple)
+		ok, err := pred(plan.Row(tup))
 		if err != nil {
 			return err
 		}
-		if !ok {
-			return fmt.Errorf("engine: index %q missing entry for %v (corrupt index)", ix.Name, tid)
+		if ok {
+			victims = append(victims, dmlVictim{tid: tid, tup: tup.Clone()})
 		}
-	}
-	return nil
+		return nil
+	})
+	return victims, err
 }
 
 // execUpdate rewrites all rows matching the predicate. The updated row is
@@ -156,22 +150,7 @@ func (s *Session) execUpdate(upd *sql.UpdateStmt) (int64, error) {
 		setters = append(setters, setter{col: ci, ev: ev, kind: kind})
 	}
 
-	type victim struct {
-		tid storage.TID
-		tup storage.Tuple
-	}
-	var victims []victim
-	err = t.Heap.Scan(s.Pool, func(tid storage.TID, tup storage.Tuple) error {
-		s.VM.AccountCPU(executor.OpsPerTuple)
-		ok, err := pred(plan.Row(tup))
-		if err != nil {
-			return err
-		}
-		if ok {
-			victims = append(victims, victim{tid: tid, tup: tup.Clone()})
-		}
-		return nil
-	})
+	victims, err := s.collectVictims(t, pred)
 	if err != nil {
 		return 0, err
 	}
@@ -185,10 +164,10 @@ func (s *Session) execUpdate(upd *sql.UpdateStmt) (int64, error) {
 			}
 			newTup[st.col] = coerce(val, st.kind)
 		}
-		if err := s.deleteRow(t, v.tid, v.tup); err != nil {
+		if err := s.txnDelete(t, v.tid, v.tup); err != nil {
 			return 0, err
 		}
-		if err := s.InsertTuple(t, newTup); err != nil {
+		if _, err := s.txnInsert(t, newTup); err != nil {
 			return 0, err
 		}
 	}

@@ -21,18 +21,24 @@ import (
 	"dbvirt/internal/storage"
 	"dbvirt/internal/types"
 	"dbvirt/internal/vm"
+	"dbvirt/internal/wal"
 )
 
 // Database is the VM-independent part of an engine instance: the simulated
-// disk and the catalog describing what is on it.
+// disk, the catalog describing what is on it, the multiversion state for
+// snapshot-isolation transactions, and (when opened durably or via
+// EnableLogging) the write-ahead log attachment.
 type Database struct {
 	Disk    *storage.DiskManager
 	Catalog *catalog.Catalog
+
+	mvcc *mvccState
+	dur  *durability
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase() *Database {
-	return &Database{Disk: storage.NewDiskManager(), Catalog: catalog.New()}
+	return &Database{Disk: storage.NewDiskManager(), Catalog: catalog.New(), mvcc: newMVCCState()}
 }
 
 // Config tunes how a session divides its VM's memory.
@@ -81,6 +87,10 @@ type Session struct {
 	// (RunStatement) and every EXPLAIN ANALYZE with the statement's
 	// predicted and actual simulated seconds.
 	Observer ExecObserver
+
+	// txn is the open transaction, nil outside one. Implicit transactions
+	// (autocommit DML) exist only for the duration of runDML.
+	txn *Txn
 }
 
 // NewSession binds a database to a VM.
@@ -110,9 +120,15 @@ func workMemFor(v *vm.VM, cfg Config) int64 {
 	return wm
 }
 
-// execContext builds the executor context for this session.
+// execContext builds the executor context for this session. The
+// visibility filter is nil whenever the version map is empty (no DML in
+// flight anywhere), which is the zero-overhead path every read-only
+// workload takes.
 func (s *Session) execContext() *executor.Context {
-	return &executor.Context{Pool: s.Pool, VM: s.VM, WorkMemBytes: s.Params.WorkMemBytes, Mode: s.Config.Executor}
+	return &executor.Context{
+		Pool: s.Pool, VM: s.VM, WorkMemBytes: s.Params.WorkMemBytes,
+		Mode: s.Config.Executor, Vis: s.readVisibility(),
+	}
 }
 
 // Exec runs a DDL/DML statement (CREATE TABLE, CREATE INDEX, INSERT,
@@ -128,27 +144,49 @@ func (s *Session) Exec(src string) (int64, error) {
 		for i, c := range x.Columns {
 			cols[i] = catalog.Column{Name: c.Name, Kind: c.Kind}
 		}
-		_, err := s.DB.Catalog.CreateTable(s.DB.Disk, x.Name, catalog.Schema{Cols: cols})
-		return 0, err
+		if _, err := s.DB.Catalog.CreateTable(s.DB.Disk, x.Name, catalog.Schema{Cols: cols}); err != nil {
+			return 0, err
+		}
+		wcols := make([]wal.ColumnDef, len(cols))
+		for i, c := range cols {
+			wcols[i] = wal.ColumnDef{Name: c.Name, Kind: uint8(c.Kind)}
+		}
+		return 0, s.logDDL(&wal.Record{Type: wal.RecCreateTable, Table: x.Name, Cols: wcols})
 
 	case *sql.CreateIndexStmt:
-		_, err := s.DB.Catalog.CreateIndex(s.DB.Disk, s.Pool, x.Name, x.Table, x.Column)
-		return 0, err
+		if _, err := s.DB.Catalog.CreateIndex(s.DB.Disk, s.Pool, x.Name, x.Table, x.Column); err != nil {
+			return 0, err
+		}
+		return 0, s.logDDL(&wal.Record{Type: wal.RecCreateIndex, Table: x.Table, Index: x.Name, Column: x.Column})
 
 	case *sql.InsertStmt:
 		// DML bumps the catalog version conservatively: estimates only
 		// change after ANALYZE, but cached plans should not outlive the
 		// data they were costed against.
 		defer s.DB.Catalog.Invalidate()
-		return s.execInsert(x)
+		return s.runDML(func() (int64, error) { return s.execInsert(x) })
 
 	case *sql.DeleteStmt:
 		defer s.DB.Catalog.Invalidate()
-		return s.execDelete(x)
+		return s.runDML(func() (int64, error) { return s.execDelete(x) })
 
 	case *sql.UpdateStmt:
 		defer s.DB.Catalog.Invalidate()
-		return s.execUpdate(x)
+		return s.runDML(func() (int64, error) { return s.execUpdate(x) })
+
+	case *sql.BeginStmt:
+		return 0, s.Begin()
+
+	case *sql.CommitStmt:
+		defer s.DB.Catalog.Invalidate()
+		return 0, s.Commit()
+
+	case *sql.RollbackStmt:
+		defer s.DB.Catalog.Invalidate()
+		return 0, s.Rollback()
+
+	case *sql.CheckpointStmt:
+		return 0, s.CheckpointDurable()
 
 	case *sql.AnalyzeStmt:
 		if x.Table != "" {
@@ -193,7 +231,7 @@ func (s *Session) execInsert(ins *sql.InsertStmt) (int64, error) {
 			}
 			tup[i] = coerce(v, t.Schema.Cols[i].Kind)
 		}
-		if err := s.InsertTuple(t, tup); err != nil {
+		if _, err := s.txnInsert(t, tup); err != nil {
 			return count, err
 		}
 		count++

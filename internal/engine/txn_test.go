@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"dbvirt/internal/vm"
+	"dbvirt/internal/wal"
+)
+
+// sessionOn opens an independent session (own machine and VM) on an
+// existing database, for reader-vs-writer visibility tests.
+func sessionOn(t *testing.T, db *Database) *Session {
+	t.Helper()
+	m := vm.MustMachine(vm.DefaultMachineConfig())
+	v, err := m.NewVM("peer", vm.Shares{CPU: 1, Memory: 1, IO: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(db, v, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// colA returns the sorted values of column a of table t.
+func colA(t *testing.T, s *Session, table string) []int64 {
+	t.Helper()
+	rows := query(t, s, "SELECT a FROM "+table)
+	out := make([]int64, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r[0].I)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func eqInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTxnVisibility(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (2)")
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1, 2}) {
+		t.Fatalf("writer sees %v, want its own insert", got)
+	}
+	// Sessions have private buffer pools over the shared disk: flush the
+	// writer's dirty pages (uncommitted tuple included) and open a fresh
+	// reader — the shared version map must hide the uncommitted row.
+	if err := s.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := colA(t, sessionOn(t, s.DB), "t"); !eqInts(got, []int64{1}) {
+		t.Fatalf("reader sees %v before commit, want [1]", got)
+	}
+	mustExec(t, s, "COMMIT")
+	if err := s.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := colA(t, sessionOn(t, s.DB), "t"); !eqInts(got, []int64{1, 2}) {
+		t.Fatalf("reader sees %v after commit, want [1 2]", got)
+	}
+}
+
+func TestTxnSnapshotStability(t *testing.T) {
+	s := newSession(t)
+	writer := sessionOn(t, s.DB)
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+
+	// A transaction's snapshot is fixed at BEGIN: a commit that lands
+	// after it must stay invisible until the reader's transaction ends.
+	// The open snapshot also pins the committed row's version entry
+	// (vacuum may not freeze it), which is exactly what the sequence
+	// comparison below exercises.
+	mustExec(t, s, "BEGIN")
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1}) {
+		t.Fatalf("got %v", got)
+	}
+	mustExec(t, writer, "INSERT INTO t VALUES (2)")
+	if err := writer.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1}) {
+		t.Fatalf("open transaction sees concurrent commit: %v", got)
+	}
+	mustExec(t, s, "COMMIT")
+	if err := s.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := colA(t, sessionOn(t, s.DB), "t"); !eqInts(got, []int64{1, 2}) {
+		t.Fatalf("after commit: %v, want [1 2]", got)
+	}
+}
+
+func TestTxnRollback(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "CREATE INDEX t_a ON t (a)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (4)")
+	mustExec(t, s, "UPDATE t SET a = a + 10 WHERE a = 2")
+	mustExec(t, s, "DELETE FROM t WHERE a = 3")
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1, 4, 12}) {
+		t.Fatalf("inside txn: %v", got)
+	}
+	mustExec(t, s, "ROLLBACK")
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1, 2, 3}) {
+		t.Fatalf("after rollback: %v, want [1 2 3]", got)
+	}
+	// Index scans agree with the heap after undo's index maintenance.
+	rows := query(t, s, "SELECT a FROM t WHERE a = 2")
+	if len(rows) != 1 {
+		t.Fatalf("index sees %d rows for a=2 after rollback, want 1", len(rows))
+	}
+}
+
+func TestTxnWriteWriteConflict(t *testing.T) {
+	s1 := newSession(t)
+	mustExec(t, s1, "CREATE TABLE t (a INT)")
+	mustExec(t, s1, "INSERT INTO t VALUES (1)")
+	if err := s1.Pool.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := sessionOn(t, s1.DB)
+
+	mustExec(t, s1, "BEGIN")
+	mustExec(t, s1, "DELETE FROM t WHERE a = 1")
+	if _, err := s2.Exec("DELETE FROM t WHERE a = 1"); err == nil || !strings.Contains(err.Error(), "deleted by transaction") {
+		t.Fatalf("concurrent delete of the same row: err=%v, want write-write conflict", err)
+	}
+	mustExec(t, s1, "ROLLBACK")
+	// After the rollback the row is free again.
+	mustExec(t, s2, "DELETE FROM t WHERE a = 1")
+	if got := colA(t, s2, "t"); len(got) != 0 {
+		t.Fatalf("got %v, want empty", got)
+	}
+}
+
+func TestStatementAtomicityAutocommit(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3), (4), (5), (6)")
+
+	// The setter divides by zero on a=5, after rows 1-4 were already
+	// rewritten; the implicit transaction must roll the whole statement
+	// back.
+	if _, err := s.Exec("UPDATE t SET a = a + 100 / (a - 5)"); err == nil {
+		t.Fatal("update with failing setter succeeded")
+	}
+	if s.InTxn() {
+		t.Fatal("implicit transaction left open after failure")
+	}
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1, 2, 3, 4, 5, 6}) {
+		t.Fatalf("after failed statement: %v, want original rows", got)
+	}
+}
+
+func TestStatementAtomicityInsideTxn(t *testing.T) {
+	s := newSession(t)
+	dev := wal.NewMemDevice()
+	if err := s.DB.EnableLogging(dev, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3), (4), (5), (6)")
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (100)")
+	if _, err := s.Exec("UPDATE t SET a = a + 100 / (a - 5)"); err == nil {
+		t.Fatal("update with failing setter succeeded")
+	}
+	// The failed statement rolled back alone; the transaction continues
+	// and keeps its earlier work.
+	if !s.InTxn() {
+		t.Fatal("explicit transaction aborted by statement failure")
+	}
+	if got := colA(t, s, "t"); !eqInts(got, []int64{1, 2, 3, 4, 5, 6, 100}) {
+		t.Fatalf("inside txn after failed statement: %v", got)
+	}
+	mustExec(t, s, "COMMIT")
+	want := []int64{1, 2, 3, 4, 5, 6, 100}
+	if got := colA(t, s, "t"); !eqInts(got, want) {
+		t.Fatalf("after commit: %v, want %v", got, want)
+	}
+
+	// The statement rollback wrote compensation records; replaying the
+	// log must land on the same state.
+	data, err := dev.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := wal.Scan(data[wal.HeaderSize:])
+	sawCLR := false
+	for _, r := range recs {
+		if r.Type == wal.RecUndoInsert || r.Type == wal.RecUndoDelete {
+			sawCLR = true
+		}
+	}
+	if !sawCLR {
+		t.Fatal("statement rollback inside a transaction wrote no compensation records")
+	}
+	db2 := NewDatabase()
+	rs, err := recoverySession(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(rs, recs, &RecoveryStats{}); err != nil {
+		t.Fatalf("replaying log with compensation records: %v", err)
+	}
+	if got := colA(t, sessionOn(t, db2), "t"); !eqInts(got, want) {
+		t.Fatalf("replayed state: %v, want %v", got, want)
+	}
+}
+
+func TestCheckpointRefusedInTxn(t *testing.T) {
+	s := newSession(t)
+	if err := s.DB.EnableLogging(wal.NewMemDevice(), 1); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	if err := s.CheckpointDurable(); err == nil {
+		t.Fatal("checkpoint inside a transaction accepted")
+	}
+	if _, err := s.Exec("CHECKPOINT"); err == nil {
+		t.Fatal("CHECKPOINT statement inside a transaction accepted")
+	}
+	mustExec(t, s, "COMMIT")
+	if err := s.CheckpointDurable(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseTxnStatements(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INT)")
+	// BEGIN TRANSACTION is accepted; nested BEGIN, stray COMMIT and
+	// ROLLBACK are errors.
+	mustExec(t, s, "BEGIN TRANSACTION")
+	if _, err := s.Exec("BEGIN"); err == nil {
+		t.Fatal("nested BEGIN accepted")
+	}
+	mustExec(t, s, "COMMIT")
+	if _, err := s.Exec("COMMIT"); err == nil {
+		t.Fatal("COMMIT outside a transaction accepted")
+	}
+	if _, err := s.Exec("ROLLBACK"); err == nil {
+		t.Fatal("ROLLBACK outside a transaction accepted")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"dbvirt/internal/buffer"
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/plan"
+	"dbvirt/internal/storage"
 	"dbvirt/internal/types"
 	"dbvirt/internal/vm"
 )
@@ -41,6 +42,12 @@ const (
 // actual spill decisions aligned.
 const HashTableOverhead = 1.5
 
+// Visibility decides whether one heap tuple is visible to the executing
+// snapshot. Scans consult it before processing (or charging for) a tuple.
+// A nil Visibility means every live tuple is visible — the zero-overhead
+// path taken whenever no multiversion state exists.
+type Visibility func(fid storage.FileID, tid storage.TID) bool
+
 // Context carries the runtime environment of one query execution.
 type Context struct {
 	// Pool is the session's buffer pool; all page access flows through it.
@@ -56,6 +63,10 @@ type Context struct {
 	// Mode selects the vectorized (default) or tuple-at-a-time executor.
 	// Both charge bit-identical costs to the VM.
 	Mode Mode
+	// Vis, when non-nil, restricts scans to tuples visible under the
+	// session's snapshot. Both executor modes apply it identically, before
+	// any per-tuple CPU charge.
+	Vis Visibility
 }
 
 // iterator is the Volcano operator interface.

@@ -354,6 +354,9 @@ func (j *indexNLJoinIter) probe(key int64) error {
 			break
 		}
 		j.ctx.VM.AccountCPU(OpsPerIndexTuple)
+		if j.ctx.Vis != nil && !j.ctx.Vis(j.node.InnerRel.Table.Heap.FileID(), tid) {
+			continue
+		}
 		tup, err := j.node.InnerRel.Table.Heap.GetAt(j.ctx.Pool, tid, storage.RandHint)
 		if err != nil {
 			return err

@@ -30,10 +30,14 @@ func newSeqScanIter(n *optimizer.SeqScan, ctx *Context) (iterator, error) {
 }
 
 func (s *seqScanIter) Next() (plan.Row, bool, error) {
+	fid := s.node.Rel.Table.Heap.FileID()
 	for {
-		_, tup, ok, err := s.heapIt.Next()
+		tid, tup, ok, err := s.heapIt.Next()
 		if err != nil || !ok {
 			return nil, false, err
+		}
+		if s.ctx.Vis != nil && !s.ctx.Vis(fid, tid) {
+			continue
 		}
 		s.ctx.VM.AccountCPU(OpsPerTuple)
 		row := plan.Row(tup)
@@ -89,12 +93,16 @@ func newIndexScanIter(n *optimizer.IndexScan, ctx *Context) (iterator, error) {
 }
 
 func (s *indexScanIter) Next() (plan.Row, bool, error) {
+	fid := s.node.Rel.Table.Heap.FileID()
 	for {
 		_, tid, ok, err := s.rangeIt.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
 		s.ctx.VM.AccountCPU(OpsPerIndexTuple)
+		if s.ctx.Vis != nil && !s.ctx.Vis(fid, tid) {
+			continue
+		}
 		tup, err := s.node.Rel.Table.Heap.GetAt(s.ctx.Pool, tid, s.hint)
 		if err != nil {
 			return nil, false, err

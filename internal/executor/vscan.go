@@ -446,29 +446,62 @@ func (s *vSeqScan) processBlock(blk *storage.ColBlock) (*plan.Batch, bool, error
 		return nil, false, nil
 	}
 	verd := s.pageVerdicts(blk)
-	if skip, charge := s.zoneSkip(blk, verd); skip {
-		s.ctx.VM.AccountCPU(charge)
-		mPagesSkipped.Inc()
-		return nil, false, nil
+	if s.ctx.Vis == nil {
+		// The page-skip bulk charge covers every live row; with a
+		// visibility filter only the visible subset is charged, so the
+		// skip is disabled and the cascade handles the page (its bulk
+		// verdicts charge per survivor, which stays exact).
+		if skip, charge := s.zoneSkip(blk, verd); skip {
+			s.ctx.VM.AccountCPU(charge)
+			mPagesSkipped.Inc()
+			return nil, false, nil
+		}
 	}
-	s.ctx.VM.AccountCPU(OpsPerTuple * float64(blk.Rows))
 	s.b.Cols = blk.Cols
 	s.b.N = blk.Rows
 	s.b.Sel = nil
-	if len(s.conj.evs) > 0 {
-		sel := liveSel(&s.b, &s.selBuf)
-		sel, err := s.applyCascade(&s.b, sel, verd)
-		if err != nil {
-			return nil, false, err
-		}
+	var sel []int
+	if s.ctx.Vis != nil {
+		sel = s.visibleSel(blk)
+		s.ctx.VM.AccountCPU(OpsPerTuple * float64(len(sel)))
 		if len(sel) == 0 {
 			return nil, false, nil
 		}
-		if len(sel) < blk.Rows {
-			s.b.Sel = sel
+	} else {
+		s.ctx.VM.AccountCPU(OpsPerTuple * float64(blk.Rows))
+	}
+	if len(s.conj.evs) > 0 {
+		if sel == nil {
+			sel = liveSel(&s.b, &s.selBuf)
 		}
+		filtered, err := s.applyCascade(&s.b, sel, verd)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(filtered) == 0 {
+			return nil, false, nil
+		}
+		sel = filtered
+	}
+	if sel != nil && len(sel) < blk.Rows {
+		s.b.Sel = sel
 	}
 	return &s.b, true, nil
+}
+
+// visibleSel builds the selection of rows visible under the context's
+// snapshot, matching slot numbers against the visibility filter exactly as
+// the tuple-at-a-time scan does.
+func (s *vSeqScan) visibleSel(blk *storage.ColBlock) []int {
+	sel := growSel(s.selBuf, blk.Rows)[:0]
+	fid := s.node.Rel.Table.Heap.FileID()
+	for i := 0; i < blk.Rows; i++ {
+		if s.ctx.Vis(fid, storage.TID{Page: s.pageNo, Slot: blk.Slots[i]}) {
+			sel = append(sel, i)
+		}
+	}
+	s.selBuf = sel[:cap(sel)]
+	return sel
 }
 
 // processIrregular runs the scalar path over a row-decoded page, buffering
@@ -476,7 +509,11 @@ func (s *vSeqScan) processBlock(blk *storage.ColBlock) (*plan.Batch, bool, error
 func (s *vSeqScan) processIrregular(blk *storage.ColBlock) (*plan.Batch, bool, error) {
 	s.irrRows = s.irrRows[:0]
 	s.irrIdx = 0
-	for _, tup := range blk.RowData {
+	fid := s.node.Rel.Table.Heap.FileID()
+	for ri, tup := range blk.RowData {
+		if s.ctx.Vis != nil && !s.ctx.Vis(fid, storage.TID{Page: s.pageNo, Slot: blk.Slots[ri]}) {
+			continue
+		}
 		s.ctx.VM.AccountCPU(OpsPerTuple)
 		row := plan.Row(tup)
 		pass, err := s.rowPred(row)

@@ -20,6 +20,7 @@ import (
 	"dbvirt/internal/obs"
 	"dbvirt/internal/optimizer"
 	"dbvirt/internal/vm"
+	"dbvirt/internal/wal"
 	"dbvirt/internal/workload"
 )
 
@@ -148,6 +149,57 @@ func (e *Env) MeasureQuery(db *engine.Database, query string, shares vm.Shares) 
 		return 0, err
 	}
 	return v.ElapsedSince(start), nil
+}
+
+// MeasureWrite executes a write workload against a fresh WAL-logged
+// database in a VM at the given shares and returns the simulated elapsed
+// seconds plus the workload's log footprint (bytes appended, group
+// fsyncs) — the inputs of the write-path what-if estimate. The base table
+// is built by a full-share loader VM on the same machine; only the write
+// statements themselves are timed. Each statement is an autocommit
+// transaction, so flushes == len(w.Statements).
+func (e *Env) MeasureWrite(w workload.Workload, baseRows int, shares vm.Shares) (elapsed float64, logBytes int64, flushes int, err error) {
+	lm, err := vm.NewMachine(e.Machine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	loader, err := lm.NewVM("write-loader", vm.Shares{CPU: 1, Memory: 1, IO: 1})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	db := engine.NewDatabase()
+	if err := db.EnableLogging(wal.NewMemDevice(), 1); err != nil {
+		return 0, 0, 0, err
+	}
+	ls, err := engine.NewSession(db, loader, e.Engine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := workload.BuildWriteBase(ls, baseRows, e.Seed); err != nil {
+		return 0, 0, 0, fmt.Errorf("experiments: building write base: %w", err)
+	}
+	m, err := vm.NewMachine(e.Machine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	v, err := m.NewVM("write", shares)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s, err := engine.NewSession(db, v, e.Engine)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, before := db.LogStats()
+	start := v.Snapshot()
+	for _, stmt := range w.Statements {
+		if _, err := s.RunStatement(stmt); err != nil {
+			return 0, 0, 0, fmt.Errorf("experiments: %s: %w", w.Name, err)
+		}
+	}
+	elapsed = v.ElapsedSince(start)
+	_, after := db.LogStats()
+	return elapsed, after - before, len(w.Statements), nil
 }
 
 // EstimateQuery plans one query under the calibrated P(shares) and

@@ -208,3 +208,97 @@ func FormatFigure5(r *Fig5Result) string {
 	fmt.Fprintf(&sb, "  W2 improves %.0f%%; W1 degrades %.0f%%\n", gain*100, loss*100)
 	return sb.String()
 }
+
+// FigWriteRow is one point of the write-sensitivity figure: estimated and
+// actual time of a commit-bound insert workload, the actual time of an
+// update workload, and the actual time of the read-bound Q4, all at one
+// I/O share (CPU and memory fixed at 50%).
+type FigWriteRow struct {
+	IOShare   float64
+	EstWrite  float64
+	ActWrite  float64
+	ActUpdate float64
+	ActRead   float64
+	// LogBytes/Flushes are the insert workload's measured log footprint —
+	// the inputs of EstWrite. They are a property of the workload, not of
+	// the allocation, so they are identical on every row.
+	LogBytes int64
+	Flushes  int
+}
+
+// FigWriteResult holds the rows plus the IO=50%-normalized series.
+type FigWriteResult struct {
+	Rows []FigWriteRow
+	// Norm* are the same series divided by their value at IO=50%.
+	NormEstWrite, NormActWrite, NormActUpdate, NormActRead []float64
+}
+
+// FigureWrite contrasts a write-bound tenant with a read-bound one across
+// I/O shares (CPU and memory fixed at 50%): the insert and update
+// workloads pay a WAL group fsync per autocommit statement, so their time
+// tracks the calibrated TimePerLogFlush as the I/O share shrinks, while
+// the read-bound Q4's sensitivity comes from page fetches alone. EstWrite
+// is the what-if write estimate EstimateWriteSeconds(LogBytes, Flushes)
+// under the calibrated P(shares).
+func (e *Env) FigureWrite(ioShares []float64) (*FigWriteResult, error) {
+	const baseRows = 512
+	const nWrites = 96
+	inserts := workload.InsertHeavy("insert-heavy", baseRows, nWrites)
+	updates := workload.UpdateHeavy("update-heavy", baseRows, nWrites, e.Seed)
+	q4db, err := e.DB("w-q4")
+	if err != nil {
+		return nil, err
+	}
+	res := &FigWriteResult{}
+	var at50 *FigWriteRow
+	for _, io := range ioShares {
+		shares := vm.Shares{CPU: 0.5, Memory: 0.5, IO: io}
+		row := FigWriteRow{IOShare: io}
+		if row.ActWrite, row.LogBytes, row.Flushes, err = e.MeasureWrite(inserts, baseRows, shares); err != nil {
+			return nil, err
+		}
+		if row.ActUpdate, _, _, err = e.MeasureWrite(updates, baseRows, shares); err != nil {
+			return nil, err
+		}
+		p, err := e.Calibrator().Calibrate(context.Background(), shares)
+		if err != nil {
+			return nil, err
+		}
+		row.EstWrite = p.EstimateWriteSeconds(row.LogBytes, row.Flushes)
+		if row.ActRead, err = e.MeasureQuery(q4db, workload.Query("Q4"), shares); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+		if io == 0.5 {
+			at50 = &res.Rows[len(res.Rows)-1]
+		}
+	}
+	if at50 == nil && len(res.Rows) > 0 {
+		at50 = &res.Rows[len(res.Rows)/2]
+	}
+	for _, r := range res.Rows {
+		res.NormEstWrite = append(res.NormEstWrite, r.EstWrite/at50.EstWrite)
+		res.NormActWrite = append(res.NormActWrite, r.ActWrite/at50.ActWrite)
+		res.NormActUpdate = append(res.NormActUpdate, r.ActUpdate/at50.ActUpdate)
+		res.NormActRead = append(res.NormActRead, r.ActRead/at50.ActRead)
+	}
+	return res, nil
+}
+
+// FormatFigureWrite renders the normalized series.
+func FormatFigureWrite(res *FigWriteResult) string {
+	var sb strings.Builder
+	sb.WriteString("Figure W: sensitivity to varying I/O share (normalized to IO=50%)\n")
+	sb.WriteString("  io%   est-ins  act-ins  act-upd  act-Q4   (raw seconds)\n")
+	for i, r := range res.Rows {
+		fmt.Fprintf(&sb, "  %3.0f%%  %7.3f  %7.3f  %7.3f  %6.3f   (ins %.4f/%.4f  upd %.4f  Q4 %.4f)\n",
+			r.IOShare*100,
+			res.NormEstWrite[i], res.NormActWrite[i], res.NormActUpdate[i], res.NormActRead[i],
+			r.EstWrite, r.ActWrite, r.ActUpdate, r.ActRead)
+	}
+	if len(res.Rows) > 0 {
+		fmt.Fprintf(&sb, "  write workload: %d stmts, %d log bytes, %d flushes\n",
+			res.Rows[0].Flushes, res.Rows[0].LogBytes, res.Rows[0].Flushes)
+	}
+	return sb.String()
+}

@@ -48,6 +48,19 @@ type Params struct {
 	// paper measures for TPC-H Q4. Zero reproduces the plain additive
 	// PostgreSQL model.
 	Overlap float64
+	// TimePerLogFlush is the measured wall time of one WAL group fsync
+	// under the target allocation, in seconds. It is the dominant cost of
+	// a small committed write transaction, and — like TimePerSeqPage — it
+	// scales with the inverse of the I/O share, which is what makes
+	// write-bound tenants allocation-sensitive in a different regime than
+	// read-bound ones. Zero means "unknown" (write-path estimates omit
+	// the flush term).
+	TimePerLogFlush float64
+	// WriteAmp is the calibrated write amplification of the log path:
+	// durable bytes written per logical tuple byte (log framing, torn-page
+	// padding, deferred page rewrites). Used by write-path what-if
+	// estimates; zero means "unknown".
+	WriteAmp float64
 }
 
 // DefaultParams returns PostgreSQL's default cost parameters, a 4096-page
@@ -81,8 +94,29 @@ func (p Params) Validate() error {
 		return fmt.Errorf("optimizer: TimePerSeqPage must be non-negative")
 	case p.Overlap < 0 || p.Overlap > 1:
 		return fmt.Errorf("optimizer: Overlap must be in [0,1]")
+	case p.TimePerLogFlush < 0:
+		return fmt.Errorf("optimizer: TimePerLogFlush must be non-negative")
+	case p.WriteAmp < 0:
+		return fmt.Errorf("optimizer: WriteAmp must be non-negative")
 	}
 	return nil
+}
+
+// EstimateWriteSeconds estimates the time of a write transaction that
+// appends logBytes of tuple images and commits with flushes group fsyncs
+// (typically 1) under this parameter vector. The log-byte term converts
+// amplified bytes to sequential page time; the flush term is the measured
+// commit latency. Requires Calibrated; returns 0 otherwise.
+func (p Params) EstimateWriteSeconds(logBytes int64, flushes int) float64 {
+	if !p.Calibrated() {
+		return 0
+	}
+	amp := p.WriteAmp
+	if amp <= 0 {
+		amp = 1
+	}
+	pages := float64(logBytes) * amp / 8192
+	return pages*p.TimePerSeqPage + float64(flushes)*p.TimePerLogFlush
 }
 
 // planShapeEqual reports whether two parameter vectors yield identical

@@ -152,6 +152,21 @@ type ExplainStmt struct {
 	Analyze bool
 }
 
+// BeginStmt is BEGIN [TRANSACTION]: it opens an explicit snapshot-isolation
+// transaction on the session.
+type BeginStmt struct{}
+
+// CommitStmt is COMMIT: it makes the current transaction's effects durable
+// and visible to transactions that start later.
+type CommitStmt struct{}
+
+// RollbackStmt is ROLLBACK: it undoes the current transaction.
+type RollbackStmt struct{}
+
+// CheckpointStmt is CHECKPOINT: it forces a durable snapshot and truncates
+// the write-ahead log.
+type CheckpointStmt struct{}
+
 func (*SelectStmt) stmt()      {}
 func (*CreateTableStmt) stmt() {}
 func (*CreateIndexStmt) stmt() {}
@@ -160,6 +175,10 @@ func (*DeleteStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*AnalyzeStmt) stmt()     {}
 func (*ExplainStmt) stmt()     {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+func (*CheckpointStmt) stmt()  {}
 
 // Expr is any expression node.
 type Expr interface {

@@ -128,6 +128,19 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseUpdate()
 	case p.peekKeyword("ANALYZE"):
 		return p.parseAnalyze()
+	case p.peekKeyword("BEGIN"):
+		p.advance()
+		p.acceptKeyword("TRANSACTION")
+		return &BeginStmt{}, nil
+	case p.peekKeyword("COMMIT"):
+		p.advance()
+		return &CommitStmt{}, nil
+	case p.peekKeyword("ROLLBACK"):
+		p.advance()
+		return &RollbackStmt{}, nil
+	case p.peekKeyword("CHECKPOINT"):
+		p.advance()
+		return &CheckpointStmt{}, nil
 	case p.peekKeyword("EXPLAIN"):
 		p.advance()
 		analyze := p.acceptKeyword("ANALYZE")

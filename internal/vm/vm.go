@@ -140,6 +140,11 @@ type MachineConfig struct {
 	RandPagesPerSec float64
 	// WritePagesPerSec is the page-write rate of the disk.
 	WritePagesPerSec float64
+	// LogFlushSeconds is the latency of one write-ahead-log fsync
+	// (command queuing, controller cache flush, rotational settle). It is
+	// charged per commit flush, scaled by the VM's I/O share, and is what
+	// makes commit-heavy OLTP tenants sensitive to the I/O allocation.
+	LogFlushSeconds float64
 	// MemBytes is the physical RAM available to be divided among VMs.
 	MemBytes int64
 	// HypervisorIOOps is the CPU-operation cost charged to a VM for every
@@ -172,6 +177,7 @@ func DefaultMachineConfig() MachineConfig {
 		SeqPagesPerSec:   2560,
 		RandPagesPerSec:  120,
 		WritePagesPerSec: 2560,
+		LogFlushSeconds:  0.004,
 		MemBytes:         64 << 20,
 		HypervisorIOOps:  2000,
 		SchedOverhead:    0.65,
@@ -190,6 +196,8 @@ func (c MachineConfig) Validate() error {
 		return fmt.Errorf("vm: RandPagesPerSec must be positive, got %g", c.RandPagesPerSec)
 	case c.WritePagesPerSec <= 0:
 		return fmt.Errorf("vm: WritePagesPerSec must be positive, got %g", c.WritePagesPerSec)
+	case c.LogFlushSeconds < 0:
+		return fmt.Errorf("vm: LogFlushSeconds must be non-negative, got %g", c.LogFlushSeconds)
 	case c.MemBytes <= 0:
 		return fmt.Errorf("vm: MemBytes must be positive, got %d", c.MemBytes)
 	case c.HypervisorIOOps < 0:
@@ -295,6 +303,7 @@ type Usage struct {
 	SeqReads   int64   // sequential page reads
 	RandReads  int64   // random page reads
 	Writes     int64   // page writes
+	LogFlushes int64   // write-ahead-log fsyncs
 }
 
 // Elapsed returns the simulated wall-clock seconds corresponding to this
@@ -313,6 +322,7 @@ func (u Usage) Sub(o Usage) Usage {
 		SeqReads:   u.SeqReads - o.SeqReads,
 		RandReads:  u.RandReads - o.RandReads,
 		Writes:     u.Writes - o.Writes,
+		LogFlushes: u.LogFlushes - o.LogFlushes,
 	}
 }
 
@@ -326,6 +336,7 @@ func (u Usage) Add(o Usage) Usage {
 		SeqReads:   u.SeqReads + o.SeqReads,
 		RandReads:  u.RandReads + o.RandReads,
 		Writes:     u.Writes + o.Writes,
+		LogFlushes: u.LogFlushes + o.LogFlushes,
 	}
 }
 
@@ -346,10 +357,11 @@ type VM struct {
 
 	// Work counters. Every charge in the engine is integer-valued, so
 	// these sums are exact and independent of charge granularity.
-	cpuOps    float64
-	seqReads  int64
-	randReads int64
-	writes    int64
+	cpuOps     float64
+	seqReads   int64
+	randReads  int64
+	writes     int64
+	logFlushes int64
 
 	// foldedCPU/foldedIO are the derived seconds of completed share
 	// epochs; the *Mark fields are the counter values at the start of the
@@ -360,6 +372,7 @@ type VM struct {
 	seqMark   int64
 	randMark  int64
 	writeMark int64
+	flushMark int64
 }
 
 // Name returns the VM's name.
@@ -397,6 +410,7 @@ func (v *VM) SetShares(s Shares) error {
 	v.seqMark = v.seqReads
 	v.randMark = v.randReads
 	v.writeMark = v.writes
+	v.flushMark = v.logFlushes
 	v.shares = s
 	v.mu.Unlock()
 	return nil
@@ -428,7 +442,8 @@ func (v *VM) pendingLocked() (cpuSec, ioSec float64) {
 	ioShare := v.shares.IO
 	ioSec = float64(v.seqReads-v.seqMark)/(cfg.SeqPagesPerSec*ioShare) +
 		float64(v.randReads-v.randMark)/(cfg.RandPagesPerSec*ioShare) +
-		float64(v.writes-v.writeMark)/(cfg.WritePagesPerSec*ioShare)
+		float64(v.writes-v.writeMark)/(cfg.WritePagesPerSec*ioShare) +
+		float64(v.logFlushes-v.flushMark)*cfg.LogFlushSeconds/ioShare
 	return cpuSec, ioSec
 }
 
@@ -468,6 +483,16 @@ func (v *VM) AccountWrite(pages int) {
 	v.cpuOps += v.machine.cfg.HypervisorIOOps * float64(pages)
 }
 
+// AccountLogFlush charges write-ahead-log fsyncs (plus the hypervisor's
+// per-request CPU overhead).
+func (v *VM) AccountLogFlush(flushes int) {
+	if flushes <= 0 {
+		return
+	}
+	v.logFlushes += int64(flushes)
+	v.cpuOps += v.machine.cfg.HypervisorIOOps * float64(flushes)
+}
+
 // Snapshot returns the VM's accumulated usage so far, deriving seconds
 // from the work counters.
 func (v *VM) Snapshot() Usage {
@@ -481,6 +506,7 @@ func (v *VM) Snapshot() Usage {
 		SeqReads:   v.seqReads,
 		RandReads:  v.randReads,
 		Writes:     v.writes,
+		LogFlushes: v.logFlushes,
 	}
 }
 

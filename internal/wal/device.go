@@ -1,0 +1,248 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"dbvirt/internal/faults"
+)
+
+// Device is the durable medium under a Log: an append-only byte store
+// with explicit sync. Two implementations exist — FileDevice for real
+// durability and MemDevice for tests and for simulated (cost-only) WALs in
+// the experiments — plus FaultDevice, which wraps either with a seeded
+// fault injector.
+type Device interface {
+	// Append writes one record frame (or the header) at the end.
+	Append(buf []byte) error
+	// Sync makes every appended byte durable.
+	Sync() error
+	// Load returns the device's full current contents.
+	Load() ([]byte, error)
+	// Reset atomically replaces the contents with initial (a fresh
+	// header) and makes the replacement durable.
+	Reset(initial []byte) error
+	// Size returns the current length in bytes.
+	Size() int64
+	// Close releases the device, reporting any deferred write error.
+	Close() error
+}
+
+// MemDevice is an in-memory Device for tests and cost-only logging.
+type MemDevice struct {
+	buf []byte
+}
+
+// NewMemDevice creates an empty in-memory device.
+func NewMemDevice() *MemDevice { return &MemDevice{} }
+
+// Append implements Device.
+func (m *MemDevice) Append(buf []byte) error {
+	m.buf = append(m.buf, buf...)
+	return nil
+}
+
+// Sync implements Device (a no-op in memory).
+func (m *MemDevice) Sync() error { return nil }
+
+// Load implements Device.
+func (m *MemDevice) Load() ([]byte, error) { return append([]byte(nil), m.buf...), nil }
+
+// Reset implements Device.
+func (m *MemDevice) Reset(initial []byte) error {
+	m.buf = append(m.buf[:0], initial...)
+	return nil
+}
+
+// Size implements Device.
+func (m *MemDevice) Size() int64 { return int64(len(m.buf)) }
+
+// Close implements Device.
+func (m *MemDevice) Close() error { return nil }
+
+// FileDevice is a Device over one file. Writes go straight to the file
+// descriptor; Sync is fsync. Reset writes a sibling temp file, fsyncs it,
+// renames it over the log, and fsyncs the directory, so a crash during
+// reset leaves either the old or the new log, never a hybrid.
+type FileDevice struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+// OpenFileDevice opens (creating if absent) the log file at path.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileDevice{path: path, f: f, size: st.Size()}, nil
+}
+
+// Append implements Device.
+func (d *FileDevice) Append(buf []byte) error {
+	n, err := d.f.Write(buf)
+	d.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("wal: appending to %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// Sync implements Device.
+func (d *FileDevice) Sync() error {
+	if err := d.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", d.path, err)
+	}
+	return nil
+}
+
+// Load implements Device.
+func (d *FileDevice) Load() ([]byte, error) {
+	data, err := os.ReadFile(d.path)
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Reset implements Device.
+func (d *FileDevice) Reset(initial []byte) error {
+	tmp := d.path + ".tmp"
+	nf, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := nf.Write(initial); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := nf.Sync(); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := os.Rename(tmp, d.path); err != nil {
+		nf.Close()
+		return err
+	}
+	if err := SyncDir(filepath.Dir(d.path)); err != nil {
+		nf.Close()
+		return err
+	}
+	// The old descriptor now points at the unlinked file; swap to the new
+	// one. The old close error is surfaced: a deferred write error on the
+	// superseded log is still a disk telling us something.
+	old := d.f
+	d.f = nf
+	d.size = int64(len(initial))
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("wal: closing superseded log: %w", err)
+	}
+	return nil
+}
+
+// Size implements Device.
+func (d *FileDevice) Size() int64 { return d.size }
+
+// Close implements Device, syncing first so a clean shutdown is durable
+// and propagating both errors (close errors on Linux can carry deferred
+// write-back failures).
+func (d *FileDevice) Close() error {
+	syncErr := d.f.Sync()
+	closeErr := d.f.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: fsync %s on close: %w", d.path, syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: close %s: %w", d.path, closeErr)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making renames within it durable.
+func SyncDir(dir string) error {
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	syncErr := df.Sync()
+	closeErr := df.Close()
+	if syncErr != nil {
+		return fmt.Errorf("wal: fsync dir %s: %w", dir, syncErr)
+	}
+	return closeErr
+}
+
+// FaultDevice wraps a Device with deterministic seeded disk faults: crash
+// at a record boundary (optionally tearing the next record), fsync
+// errors, and partial reads. Used by the crash-recovery tests.
+type FaultDevice struct {
+	Inner Device
+	Inj   *faults.DiskInjector
+}
+
+// NewFaultDevice wraps dev with the given injector.
+func NewFaultDevice(dev Device, inj *faults.DiskInjector) *FaultDevice {
+	return &FaultDevice{Inner: dev, Inj: inj}
+}
+
+// Append implements Device, consulting the injector per record.
+func (d *FaultDevice) Append(buf []byte) error {
+	out := d.Inj.Append(int64(len(buf)))
+	if out.Err != nil {
+		if out.TornPrefix > 0 {
+			// A torn write: a prefix of the record reaches the platter
+			// before the crash.
+			if err := d.Inner.Append(buf[:out.TornPrefix]); err != nil {
+				return err
+			}
+		}
+		return out.Err
+	}
+	return d.Inner.Append(buf)
+}
+
+// Sync implements Device.
+func (d *FaultDevice) Sync() error {
+	if err := d.Inj.Fsync(); err != nil {
+		return err
+	}
+	return d.Inner.Sync()
+}
+
+// Load implements Device; partial reads shorten the returned prefix.
+func (d *FaultDevice) Load() ([]byte, error) {
+	data, err := d.Inner.Load()
+	if err != nil {
+		return nil, err
+	}
+	if n := d.Inj.Read(len(data)); n < len(data) {
+		return data[:n], nil
+	}
+	return data, nil
+}
+
+// Reset implements Device.
+func (d *FaultDevice) Reset(initial []byte) error {
+	if d.Inj.Crashed() {
+		return faults.ErrCrash
+	}
+	return d.Inner.Reset(initial)
+}
+
+// Size implements Device.
+func (d *FaultDevice) Size() int64 { return d.Inner.Size() }
+
+// Close implements Device.
+func (d *FaultDevice) Close() error { return d.Inner.Close() }

@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"dbvirt/internal/obs"
+)
+
+// Package-level metrics (always on, near-zero cost — see internal/obs).
+var (
+	mAppendRecords  = obs.Global.Counter("wal.append.records")
+	mAppendBytes    = obs.Global.Counter("wal.append.bytes")
+	mFsyncCount     = obs.Global.Counter("wal.fsync.count")
+	mFsyncCoalesced = obs.Global.Counter("wal.fsync.coalesced")
+	mFsyncErrors    = obs.Global.Counter("wal.fsync.errors")
+	mResets         = obs.Global.Counter("wal.resets")
+)
+
+// LSN is a log sequence number: the byte offset of a record's frame in the
+// current log epoch. LSNs restart at HeaderSize after every Reset.
+type LSN int64
+
+// Log is the append side of the write-ahead log. It is safe for
+// concurrent use; commits from concurrent sessions group their fsyncs (a
+// committer whose records were already made durable by another session's
+// fsync returns without touching the disk).
+type Log struct {
+	mu       sync.Mutex // guards dev appends and counters
+	syncMu   sync.Mutex // serializes fsyncs; held outside mu
+	dev      Device
+	epoch    uint64
+	appended LSN // end offset of the last appended record
+	flushed  LSN // end offset covered by the last successful fsync
+	records  int64
+}
+
+// OpenLog opens a log over the device. An empty device is initialized
+// with a fresh header at the given epoch; a non-empty device must carry a
+// valid header (its epoch wins) and is scanned so appends resume after
+// the last valid record — the caller is expected to have truncated or
+// otherwise dealt with any torn tail via Scan/Reset first.
+func OpenLog(dev Device, epoch uint64) (*Log, error) {
+	l := &Log{dev: dev, epoch: epoch}
+	if dev.Size() == 0 {
+		if err := dev.Append(EncodeHeader(epoch)); err != nil {
+			return nil, err
+		}
+		if err := dev.Sync(); err != nil {
+			mFsyncErrors.Inc()
+			return nil, err
+		}
+		mFsyncCount.Inc()
+		l.appended = LSN(HeaderSize)
+		l.flushed = LSN(HeaderSize)
+		return l, nil
+	}
+	data, err := dev.Load()
+	if err != nil {
+		return nil, err
+	}
+	e, err := DecodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	l.epoch = e
+	recs, valid := Scan(data[HeaderSize:])
+	l.appended = LSN(HeaderSize + valid)
+	l.flushed = l.appended
+	l.records = int64(len(recs))
+	if int(l.appended) != len(data) {
+		return nil, fmt.Errorf("wal: log has %d bytes of torn tail (valid through %d of %d); truncate before appending",
+			len(data)-int(l.appended), l.appended, len(data))
+	}
+	return l, nil
+}
+
+// Epoch returns the log's current epoch.
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// AppendedBytes returns the end offset of the last appended record.
+func (l *Log) AppendedBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int64(l.appended)
+}
+
+// Records returns the number of records appended this epoch.
+func (l *Log) Records() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records
+}
+
+// Append encodes and appends one record, returning the LSN *after* it
+// (the durability target to pass to Flush). The record is buffered in the
+// OS, not yet durable.
+func (l *Log) Append(r *Record) (LSN, error) {
+	frame, err := Encode(r)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.dev.Append(frame); err != nil {
+		return 0, err
+	}
+	l.appended += LSN(len(frame))
+	l.records++
+	mAppendRecords.Inc()
+	mAppendBytes.Add(int64(len(frame)))
+	return l.appended, nil
+}
+
+// Flush makes the log durable through at least upTo. Concurrent callers
+// group: whoever takes the sync lock first fsyncs everything appended so
+// far, and the rest find their target already covered.
+func (l *Log) Flush(upTo LSN) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	flushed, appended := l.flushed, l.appended
+	l.mu.Unlock()
+	if flushed >= upTo {
+		mFsyncCoalesced.Inc()
+		return nil
+	}
+	if err := l.dev.Sync(); err != nil {
+		mFsyncErrors.Inc()
+		return err
+	}
+	mFsyncCount.Inc()
+	l.mu.Lock()
+	if appended > l.flushed {
+		l.flushed = appended
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Reset atomically replaces the log with an empty one at the given epoch;
+// called after a checkpoint has made everything before it redundant.
+func (l *Log) Reset(epoch uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.dev.Reset(EncodeHeader(epoch)); err != nil {
+		return err
+	}
+	l.epoch = epoch
+	l.appended = LSN(HeaderSize)
+	l.flushed = l.appended
+	l.records = 0
+	mResets.Inc()
+	return nil
+}
+
+// Close flushes and closes the device.
+func (l *Log) Close() error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dev.Close()
+}

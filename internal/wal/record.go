@@ -1,0 +1,324 @@
+// Package wal implements the engine's write-ahead log: checksummed,
+// length-prefixed records describing transaction boundaries and logical
+// tuple operations, an append-only writer with group fsync, and a scanner
+// that recovers the longest valid record prefix from a possibly torn log.
+//
+// The log is logical (ARIES-lite): each data record names a table, a tuple
+// identifier, and a full tuple image. Redo replays every record in log
+// order against a snapshot-consistent base image — including the work of
+// transactions that later abort — which makes the physical page layout of
+// the recovered database a deterministic function of the log alone; the
+// undo phase then reverts the loser transactions exactly as a runtime
+// rollback would. Tuple-level undo images double as the statement-level
+// undo log that makes DML statements all-or-nothing.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"dbvirt/internal/storage"
+)
+
+// Magic and epoch header written at the start of every log file. The epoch
+// ties a log to the snapshot it extends: recovery ignores a log whose
+// epoch is older than the snapshot's (a crash between snapshot publication
+// and log reset leaves exactly that state behind).
+const (
+	Magic      = "DBVWAL01"
+	HeaderSize = len(Magic) + 8
+)
+
+// RecordType enumerates the log record kinds.
+type RecordType uint8
+
+// Record types.
+const (
+	RecBegin RecordType = iota + 1
+	RecCommit
+	RecAbort
+	RecInsert
+	RecDelete
+	RecCreateTable
+	RecCreateIndex
+	RecCheckpoint
+	// RecUndoInsert and RecUndoDelete are compensation records (ARIES
+	// CLRs): they are written when a failed statement's work is rolled
+	// back inside a transaction that continues, so redo replays the
+	// rollback and the loser-undo pass knows those operations are already
+	// reverted. An undo-insert reverts an insert (same Table/TID/Tuple);
+	// an undo-delete reverts a delete.
+	RecUndoInsert
+	RecUndoDelete
+)
+
+// String names the record type.
+func (t RecordType) String() string {
+	switch t {
+	case RecBegin:
+		return "BEGIN"
+	case RecCommit:
+		return "COMMIT"
+	case RecAbort:
+		return "ABORT"
+	case RecInsert:
+		return "INSERT"
+	case RecDelete:
+		return "DELETE"
+	case RecCreateTable:
+		return "CREATE TABLE"
+	case RecCreateIndex:
+		return "CREATE INDEX"
+	case RecCheckpoint:
+		return "CHECKPOINT"
+	case RecUndoInsert:
+		return "UNDO INSERT"
+	case RecUndoDelete:
+		return "UNDO DELETE"
+	default:
+		return fmt.Sprintf("record(%d)", uint8(t))
+	}
+}
+
+// ColumnDef is one column of a logged CREATE TABLE.
+type ColumnDef struct {
+	Name string
+	Kind uint8
+}
+
+// Record is one decoded log record. Fields beyond Type and XID are
+// populated per type: Insert/Delete carry Table, TID and Tuple (the redo
+// image for inserts, the undo image for deletes); CreateTable carries
+// Table and Cols; CreateIndex carries Table, Index and Column.
+type Record struct {
+	Type  RecordType
+	XID   uint64
+	Table string
+	TID   storage.TID
+	// Tuple is the encoded tuple image (storage.EncodeTuple bytes).
+	Tuple  []byte
+	Cols   []ColumnDef
+	Index  string
+	Column string
+	// ActiveXIDs lists in-flight transactions at a checkpoint record.
+	ActiveXIDs []uint64
+}
+
+// crcTable is the Castagnoli polynomial, as used by filesystems.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame layout: | payloadLen uint32 | crc32c(payload) uint32 | payload |.
+const frameHeader = 8
+
+// maxPayload bounds a single record; anything larger is corrupt. One
+// tuple fits one 8 KiB page, so 1 MiB leaves two orders of headroom while
+// keeping a corrupt length prefix from allocating gigabytes.
+const maxPayload = 1 << 20
+
+func putString(buf []byte, s string) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(s)))
+	buf = append(buf, tmp[:]...)
+	return append(buf, s...)
+}
+
+func getString(buf []byte) (string, []byte, error) {
+	if len(buf) < 4 {
+		return "", nil, fmt.Errorf("wal: truncated string length")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 0 || n > len(buf) {
+		return "", nil, fmt.Errorf("wal: string of %d bytes exceeds payload", n)
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+// Encode frames the record: length prefix, checksum, payload.
+func Encode(r *Record) ([]byte, error) {
+	payload := make([]byte, 0, 64+len(r.Tuple))
+	payload = append(payload, byte(r.Type))
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], r.XID)
+	payload = append(payload, tmp[:]...)
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort:
+	case RecInsert, RecDelete, RecUndoInsert, RecUndoDelete:
+		payload = putString(payload, r.Table)
+		binary.LittleEndian.PutUint32(tmp[:4], r.TID.Page)
+		payload = append(payload, tmp[:4]...)
+		binary.LittleEndian.PutUint16(tmp[:2], r.TID.Slot)
+		payload = append(payload, tmp[:2]...)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Tuple)))
+		payload = append(payload, tmp[:4]...)
+		payload = append(payload, r.Tuple...)
+	case RecCreateTable:
+		payload = putString(payload, r.Table)
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.Cols)))
+		payload = append(payload, tmp[:4]...)
+		for _, c := range r.Cols {
+			payload = putString(payload, c.Name)
+			payload = append(payload, c.Kind)
+		}
+	case RecCreateIndex:
+		payload = putString(payload, r.Table)
+		payload = putString(payload, r.Index)
+		payload = putString(payload, r.Column)
+	case RecCheckpoint:
+		binary.LittleEndian.PutUint32(tmp[:4], uint32(len(r.ActiveXIDs)))
+		payload = append(payload, tmp[:4]...)
+		for _, x := range r.ActiveXIDs {
+			binary.LittleEndian.PutUint64(tmp[:], x)
+			payload = append(payload, tmp[:]...)
+		}
+	default:
+		return nil, fmt.Errorf("wal: cannot encode record type %d", r.Type)
+	}
+	if len(payload) > maxPayload {
+		return nil, fmt.Errorf("wal: record payload of %d bytes exceeds limit", len(payload))
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(payload, crcTable))
+	copy(frame[frameHeader:], payload)
+	return frame, nil
+}
+
+// decodePayload parses one checksum-verified payload into a Record.
+func decodePayload(payload []byte) (*Record, error) {
+	if len(payload) < 9 {
+		return nil, fmt.Errorf("wal: payload of %d bytes too short", len(payload))
+	}
+	r := &Record{Type: RecordType(payload[0])}
+	r.XID = binary.LittleEndian.Uint64(payload[1:])
+	rest := payload[9:]
+	var err error
+	switch r.Type {
+	case RecBegin, RecCommit, RecAbort:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("wal: %s record has %d trailing bytes", r.Type, len(rest))
+		}
+	case RecInsert, RecDelete, RecUndoInsert, RecUndoDelete:
+		if r.Table, rest, err = getString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) < 10 {
+			return nil, fmt.Errorf("wal: truncated %s record", r.Type)
+		}
+		r.TID.Page = binary.LittleEndian.Uint32(rest)
+		r.TID.Slot = binary.LittleEndian.Uint16(rest[4:])
+		n := int(binary.LittleEndian.Uint32(rest[6:]))
+		rest = rest[10:]
+		if n != len(rest) {
+			return nil, fmt.Errorf("wal: tuple image of %d bytes, %d remain", n, len(rest))
+		}
+		r.Tuple = append([]byte(nil), rest...)
+	case RecCreateTable:
+		if r.Table, rest, err = getString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("wal: truncated CREATE TABLE record")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n > maxPayload/2 {
+			return nil, fmt.Errorf("wal: implausible column count %d", n)
+		}
+		r.Cols = make([]ColumnDef, 0, n)
+		for i := 0; i < n; i++ {
+			var name string
+			if name, rest, err = getString(rest); err != nil {
+				return nil, err
+			}
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("wal: truncated column kind")
+			}
+			r.Cols = append(r.Cols, ColumnDef{Name: name, Kind: rest[0]})
+			rest = rest[1:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("wal: CREATE TABLE record has %d trailing bytes", len(rest))
+		}
+	case RecCreateIndex:
+		if r.Table, rest, err = getString(rest); err != nil {
+			return nil, err
+		}
+		if r.Index, rest, err = getString(rest); err != nil {
+			return nil, err
+		}
+		if r.Column, rest, err = getString(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("wal: CREATE INDEX record has %d trailing bytes", len(rest))
+		}
+	case RecCheckpoint:
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("wal: truncated checkpoint record")
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		if n*8 != len(rest) {
+			return nil, fmt.Errorf("wal: checkpoint lists %d XIDs, %d bytes remain", n, len(rest))
+		}
+		r.ActiveXIDs = make([]uint64, n)
+		for i := 0; i < n; i++ {
+			r.ActiveXIDs[i] = binary.LittleEndian.Uint64(rest[i*8:])
+		}
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", payload[0])
+	}
+	return r, nil
+}
+
+// Scan parses the record region of a log (everything after the file
+// header) and returns the decoded records of the longest valid prefix,
+// plus the byte length of that prefix. A torn or corrupt tail — short
+// frame, impossible length, checksum mismatch, undecodable payload — ends
+// the scan cleanly rather than erroring: everything after the last valid
+// record is garbage a crash may legitimately leave behind, and the caller
+// truncates the log there. Scan never panics on arbitrary input (the
+// FuzzWALDecode target).
+func Scan(data []byte) (recs []*Record, valid int) {
+	off := 0
+	for {
+		if off+frameHeader > len(data) {
+			return recs, off
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if n < 9 || n > maxPayload || off+frameHeader+n > len(data) {
+			return recs, off
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(data[off+4:]) {
+			return recs, off
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+}
+
+// EncodeHeader renders the log file header for the given epoch.
+func EncodeHeader(epoch uint64) []byte {
+	buf := make([]byte, HeaderSize)
+	copy(buf, Magic)
+	binary.LittleEndian.PutUint64(buf[len(Magic):], epoch)
+	return buf
+}
+
+// DecodeHeader parses a log file header, returning its epoch.
+func DecodeHeader(data []byte) (uint64, error) {
+	if len(data) < HeaderSize {
+		return 0, fmt.Errorf("wal: log shorter than header (%d bytes)", len(data))
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("wal: bad log magic %q", data[:len(Magic)])
+	}
+	return binary.LittleEndian.Uint64(data[len(Magic):]), nil
+}

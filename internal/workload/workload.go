@@ -293,3 +293,61 @@ func Mix(name string, queries []string, n int) Workload {
 	}
 	return Workload{Name: name, Statements: stmts}
 }
+
+// BuildWriteBase creates and loads the small bank-style table the write
+// workloads target: `account (a_id INT, a_bal FLOAT)` with an index on
+// a_id, rows preloaded (frozen bulk load), analyzed, and checkpointed. It
+// is deliberately tiny — the write workloads it serves are commit-bound,
+// not scan-bound.
+func BuildWriteBase(s *engine.Session, rows int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	if _, err := s.Exec(`CREATE TABLE account (a_id INT, a_bal FLOAT)`); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	acct, err := s.DB.Catalog.Table("account")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		tup := storage.Tuple{
+			types.NewInt(int64(i + 1)),
+			types.NewFloat(float64(rng.Intn(100000)) / 100),
+		}
+		if err := s.InsertTuple(acct, tup); err != nil {
+			return err
+		}
+	}
+	if _, err := s.Exec("CREATE INDEX account_pk ON account (a_id)"); err != nil {
+		return fmt.Errorf("workload: %w", err)
+	}
+	if _, err := s.Exec("ANALYZE"); err != nil {
+		return err
+	}
+	return s.Checkpoint()
+}
+
+// InsertHeavy builds a write-bound workload: n single-row INSERTs into
+// account, each an autocommit transaction ending in a WAL flush. Keys
+// start above the preloaded range so index maintenance stays rightmost.
+func InsertHeavy(name string, baseRows, n int) Workload {
+	stmts := make([]string, n)
+	for i := range stmts {
+		k := baseRows + i + 1
+		stmts[i] = fmt.Sprintf("INSERT INTO account VALUES (%d, %d.0)", k, k%997)
+	}
+	return Workload{Name: name, Statements: stmts}
+}
+
+// UpdateHeavy builds an update-bound workload: n single-row balance
+// updates against the preloaded account rows, each an autocommit
+// transaction (delete + re-insert through the MVCC write path, one WAL
+// flush per statement).
+func UpdateHeavy(name string, baseRows, n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	stmts := make([]string, n)
+	for i := range stmts {
+		k := rng.Intn(baseRows) + 1
+		stmts[i] = fmt.Sprintf("UPDATE account SET a_bal = a_bal + 1.0 WHERE a_id = %d", k)
+	}
+	return Workload{Name: name, Statements: stmts}
+}
