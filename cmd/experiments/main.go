@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-fig 3|4|5|w|all] [-ablations] [-quick]
+//	experiments [-fig 3|4|5|w|p|all] [-ablations] [-quick]
 //
 // -quick runs at a reduced scale (smaller machine and dataset); the
 // shapes are preserved.
@@ -24,7 +24,7 @@ import (
 var closeObs = func() error { return nil }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, w (write sensitivity), or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, w (write sensitivity), p (fleet placement), or all")
 	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
@@ -117,6 +117,22 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatFigureWrite(res))
+			fmt.Println()
+			return nil
+		})
+	}
+
+	if *fig == "p" || *fig == "all" {
+		run("figure placement", func() error {
+			sizes := []int{100, 300, 1000}
+			if *quick {
+				sizes = []int{60, 200}
+			}
+			rows, err := env.FigurePlacement(sizes)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigurePlacement(rows))
 			fmt.Println()
 			return nil
 		})

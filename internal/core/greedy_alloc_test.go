@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"dbvirt/internal/vm"
+)
+
+// TestGreedyAllocsPerRound pins the hoisted move-scan scaffolding: the
+// greedy round loop reuses its move list, result slots, and per-worker
+// scratch, so steady-state allocations amortize to the per-solve setup
+// plus the cost cache's new entries — far below the ~2 allocations per
+// candidate move the pre-hoist implementation paid (a fresh Allocation
+// and costs slice per evaluation). The bound is deliberately loose
+// against map-growth noise but tight enough that reintroducing per-move
+// allocation trips it.
+func TestGreedyAllocsPerRound(t *testing.T) {
+	specs := fakeSpecs("w0", "w1", "w2", "w3")
+	model := &funcModel{name: "convex", f: func(w *WorkloadSpec, s vm.Shares) float64 {
+		appetite := math.Pow(4, float64(w.Name[1]-'0'))
+		return appetite / s.CPU
+	}}
+	p := &Problem{
+		Workloads:   specs,
+		Resources:   []vm.Resource{vm.CPU},
+		Step:        1.0 / 16,
+		Parallelism: 1, // serial: measured allocations exclude goroutine machinery
+	}
+	res, err := SolveGreedy(context.Background(), p, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds < 3 {
+		t.Fatalf("want a multi-round search for a meaningful bound, got %d rounds", res.Rounds)
+	}
+	movesPerRound := len(p.Resources) * len(specs) * (len(specs) - 1)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveGreedy(context.Background(), p, model); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perRound := allocs / float64(res.Rounds)
+	t.Logf("rounds=%d moves/round<=%d allocs/solve=%.1f allocs/round=%.2f",
+		res.Rounds, movesPerRound, allocs, perRound)
+	// Pre-hoist, every move evaluation allocated an Allocation plus a costs
+	// slice (2*moves = 24 allocations per round before counting per-round
+	// totals/costs/scratch: ~46/round on this problem). Post-hoist the
+	// per-round cost is the cache's new entries plus amortized setup
+	// (~17/round here); 28 sits between with margin on both sides.
+	const maxAllocsPerRound = 28
+	if perRound > maxAllocsPerRound {
+		t.Errorf("greedy allocates %.2f/round (> %d); per-move scaffolding has regressed",
+			perRound, maxAllocsPerRound)
+	}
+}

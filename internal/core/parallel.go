@@ -7,14 +7,16 @@ import (
 	"sync/atomic"
 )
 
-// parallelFor invokes body(worker, i) for every i in [0, n), distributing
+// ParallelFor invokes body(worker, i) for every i in [0, n), distributing
 // indices over at most `workers` goroutines through a shared counter. With
 // one worker (or one index) it degenerates to a plain loop with zero
 // goroutine overhead. body must confine its writes to worker-private or
 // index-private state; determinism is then the caller's responsibility —
-// the convention throughout this package is to write results into
-// pre-indexed slots (or per-worker bests) and merge them in index order
-// afterwards, so the outcome is independent of goroutine scheduling.
+// the convention throughout this package (and in internal/placement,
+// which fans per-machine solves out over the same pool) is to write
+// results into pre-indexed slots (or per-worker bests) and merge them in
+// index order afterwards, so the outcome is independent of goroutine
+// scheduling.
 //
 // Failure semantics: the first body error (or panic, which is recovered
 // and converted to an error) cancels all dispatch, so no new indices start
@@ -22,8 +24,8 @@ import (
 // the remaining work. Of the failures actually observed before
 // cancellation propagated, the one with the smallest index is returned;
 // on a successful sweep a cancelled ctx returns ctx.Err(). All spawned
-// goroutines have exited by the time parallelFor returns.
-func parallelFor(ctx context.Context, workers, n int, body func(worker, i int) error) error {
+// goroutines have exited by the time ParallelFor returns.
+func ParallelFor(ctx context.Context, workers, n int, body func(worker, i int) error) error {
 	if workers > n {
 		workers = n
 	}

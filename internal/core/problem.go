@@ -258,6 +258,9 @@ type Result struct {
 	// Elapsed is the wall-clock duration of the solve. It is the one
 	// non-deterministic field of a Result.
 	Elapsed time.Duration
+	// Rounds counts the local-search improvement rounds (greedy only;
+	// zero for the other algorithms).
+	Rounds int
 }
 
 // String summarizes the result.
@@ -271,15 +274,26 @@ func (r *Result) String() string {
 // wrapper around the cost model.
 func (p *Problem) evaluate(ctx context.Context, m *costCache, alloc Allocation) (total float64, costs []float64, err error) {
 	costs = make([]float64, len(p.Workloads))
+	total, err = p.evaluateInto(ctx, m, alloc, costs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return total, costs, nil
+}
+
+// evaluateInto is evaluate writing the per-workload costs into a
+// caller-owned slice (len == len(p.Workloads)) so hot loops — greedy's
+// move scan — evaluate candidates without allocating.
+func (p *Problem) evaluateInto(ctx context.Context, m *costCache, alloc Allocation, costs []float64) (total float64, err error) {
 	for i, w := range p.Workloads {
 		c, err := m.Cost(ctx, i, w, alloc[i])
 		if err != nil {
-			return 0, nil, err
+			return 0, err
 		}
 		costs[i] = c
 		total += p.objectiveTerm(w, c)
 	}
-	return total, costs, nil
+	return total, nil
 }
 
 // cacheShards spreads the cost cache's lock over independent buckets so

@@ -42,17 +42,22 @@ func (p *Problem) sharesFromUnits(units []int) vm.Shares {
 // allocationFromResUnits converts a per-resource unit matrix (rows aligned
 // with p.Resources, columns per workload) into an Allocation.
 func (p *Problem) allocationFromResUnits(resUnits [][]int) Allocation {
-	n := len(p.Workloads)
+	return p.allocationIntoResUnits(make(Allocation, len(p.Workloads)), resUnits)
+}
+
+// allocationIntoResUnits is allocationFromResUnits writing into a
+// caller-owned Allocation (len == len(p.Workloads)), for hot loops that
+// must not allocate per candidate.
+func (p *Problem) allocationIntoResUnits(dst Allocation, resUnits [][]int) Allocation {
 	f := p.fixedShare()
-	alloc := make(Allocation, n)
-	for i := 0; i < n; i++ {
+	for i := range dst {
 		s := vm.Shares{CPU: f, Memory: f, IO: f}
 		for k, r := range p.Resources {
 			s = s.With(r, float64(resUnits[k][i])*p.Step)
 		}
-		alloc[i] = s
+		dst[i] = s
 	}
-	return alloc
+	return dst
 }
 
 // compositions enumerates all ways to split `total` units among n
@@ -148,7 +153,7 @@ func SolveExhaustive(ctx context.Context, p *Problem, model CostModel) (*Result,
 	}
 	// The first failing candidate cancels dispatch (parallelFor) so the
 	// pool stops promptly instead of evaluating the rest of the space.
-	if err := parallelFor(ctx, workers, numCands, func(w, idx int) error {
+	if err := ParallelFor(ctx, workers, numCands, func(w, idx int) error {
 		resUnits := decodeBufs[w]
 		decode(idx, resUnits)
 		alloc := p.allocationFromResUnits(resUnits)
@@ -359,7 +364,19 @@ func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, err
 		return nil, err
 	}
 
-	var moves []greedyMove
+	// Invariant scaffolding, hoisted out of the round loop: the move list,
+	// the per-move result slots (totals plus a flat per-workload cost
+	// matrix), and per-worker scratch (a private unit matrix and a reusable
+	// candidate Allocation). Every round reuses these; the steady-state move
+	// scan performs zero allocations beyond what the cost model itself
+	// needs (see TestGreedyAllocsPerRound).
+	maxMoves := len(p.Resources) * n * (n - 1)
+	moves := make([]greedyMove, 0, maxMoves)
+	totals := make([]float64, maxMoves)
+	costsFlat := make([]float64, maxMoves*n)
+	scratch := make([][][]int, workers)
+	candBufs := make([]Allocation, workers)
+	rounds := 0
 	for round := 1; ; round++ {
 		// Enumerate this round's feasible moves in deterministic order.
 		moves = moves[:0]
@@ -379,30 +396,29 @@ func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, err
 		if len(moves) == 0 {
 			break
 		}
+		rounds = round
 
 		// Fan the move evaluations out; each worker applies moves to its
 		// own scratch copy of the unit matrix and writes results into the
 		// move's slot.
-		totals := make([]float64, len(moves))
-		costs := make([][]float64, len(moves))
-		scratch := make([][][]int, workers)
-		if err := parallelFor(ctx, workers, len(moves), func(w, mi int) error {
+		if err := ParallelFor(ctx, workers, len(moves), func(w, mi int) error {
 			if scratch[w] == nil {
 				cp := make([][]int, len(resUnits))
 				for k := range resUnits {
 					cp[k] = append([]int(nil), resUnits[k]...)
 				}
 				scratch[w] = cp
+				candBufs[w] = make(Allocation, n)
 			}
 			u := scratch[w]
 			mv := moves[mi]
 			u[mv.ri][mv.donor]--
 			u[mv.ri][mv.recv]++
-			cand := p.allocationFromResUnits(u)
+			cand := p.allocationIntoResUnits(candBufs[w], u)
 			u[mv.ri][mv.donor]++
 			u[mv.ri][mv.recv]--
 			var err error
-			totals[mi], costs[mi], err = p.evaluate(ctx, memo, cand)
+			totals[mi], err = p.evaluateInto(ctx, memo, cand, costsFlat[mi*n:(mi+1)*n])
 			return err
 		}); err != nil {
 			return nil, err
@@ -412,8 +428,8 @@ func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, err
 		// strictly-improving total in move order wins ties.
 		bestMove := -1
 		bestMoveTotal := bestTotal
-		for mi, total := range totals {
-			if total < bestMoveTotal-1e-12 {
+		for mi := range moves {
+			if total := totals[mi]; total < bestMoveTotal-1e-12 {
 				bestMoveTotal = total
 				bestMove = mi
 			}
@@ -424,13 +440,21 @@ func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, err
 			break
 		}
 		// The winner's total and per-workload costs are already known from
-		// the scan; apply the move and reuse them instead of re-evaluating.
+		// the scan; apply the move (to the live unit matrix and to every
+		// initialized worker scratch, keeping them in sync for the next
+		// round) and reuse them instead of re-evaluating.
 		mv := moves[bestMove]
 		resUnits[mv.ri][mv.donor]--
 		resUnits[mv.ri][mv.recv]++
-		alloc = p.allocationFromResUnits(resUnits)
+		for w := range scratch {
+			if scratch[w] != nil {
+				scratch[w][mv.ri][mv.donor]--
+				scratch[w][mv.ri][mv.recv]++
+			}
+		}
+		p.allocationIntoResUnits(alloc, resUnits)
 		bestTotal = bestMoveTotal
-		bestCosts = costs[bestMove]
+		copy(bestCosts, costsFlat[bestMove*n:(bestMove+1)*n])
 		p.Obs.Debug("greedy round", "round", round, "moves", len(moves),
 			"resource", int(p.Resources[mv.ri]), "donor", mv.donor,
 			"recv", mv.recv, "total", bestTotal)
@@ -441,6 +465,7 @@ func SolveGreedy(ctx context.Context, p *Problem, model CostModel) (*Result, err
 		Allocation:     alloc,
 		PredictedCosts: bestCosts,
 		PredictedTotal: bestTotal,
+		Rounds:         rounds,
 	}, memo, startT, sp), nil
 }
 

@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/placement"
+	"dbvirt/internal/workload"
+)
+
+// fleetQueries are the workload shapes the synthetic fleet cycles over;
+// each gets one shared database, so tenants of a shape share an interned
+// spec (the serving-side registry behavior).
+var fleetQueries = []string{"Q1", "Q4", "Q6", "Q13"}
+
+// FleetTenants generates n deterministic synthetic tenants: each tenant
+// runs one of the fleet query shapes repeated 1–3 times, with the
+// (shape, repeat) pair drawn from a seeded hash of the tenant index.
+// Specs are interned per (shape, repeat), so the fleet has at most
+// len(fleetQueries)*3 distinct workload identities — the regime workload
+// compression exploits.
+func (e *Env) FleetTenants(n int, seed uint64) ([]*placement.Tenant, error) {
+	specs := make(map[string]*core.WorkloadSpec)
+	tenants := make([]*placement.Tenant, n)
+	for i := 0; i < n; i++ {
+		h := fleetMix(seed + uint64(i))
+		q := fleetQueries[h%uint64(len(fleetQueries))]
+		repeat := int(h>>8)%3 + 1
+		id := fmt.Sprintf("%sx%d", q, repeat)
+		spec, ok := specs[id]
+		if !ok {
+			db, err := e.DB("fleet-" + q)
+			if err != nil {
+				return nil, err
+			}
+			spec = &core.WorkloadSpec{
+				Name:       id,
+				Statements: workload.Repeat(id, workload.Query(q), repeat).Statements,
+				DB:         db,
+			}
+			specs[id] = spec
+		}
+		tenants[i] = &placement.Tenant{Name: fmt.Sprintf("t%05d", i), Spec: spec}
+	}
+	return tenants, nil
+}
+
+// fleetMix is a splitmix64 finalizer: a seeded index hash with good
+// avalanche, so tenant shapes look shuffled but are reproducible.
+func fleetMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FigPRow is one fleet size of the placement-scaling figure. The timing
+// fields are excluded from JSON so golden snapshots stay deterministic.
+type FigPRow struct {
+	Tenants       int     `json:"tenants"`
+	Classes       int     `json:"classes"`
+	Machines      int     `json:"machines"`
+	MachineSolves int     `json:"machine_solves"`
+	MemoHits      int     `json:"memo_hits"`
+	TotalCost     float64 `json:"total_cost"`
+	// ApplyDirty / ApplyMachines describe the incremental arrival applied
+	// after the full solve: how many machine shapes one new tenant dirtied
+	// versus the machine count it left behind.
+	ApplyDirty    int  `json:"apply_dirty"`
+	ApplyMachines int  `json:"apply_machines"`
+	Verified      bool `json:"verified"`
+
+	FullSeconds  float64 `json:"-"`
+	ApplySeconds float64 `json:"-"`
+	Speedup      float64 `json:"-"`
+}
+
+// FigurePlacement runs the fleet-placement scaling experiment: for each
+// fleet size, a from-scratch solve (fresh solver and cost model — the
+// cold baseline), a Verify pass, and then one incremental tenant arrival
+// on the warm state. TotalCost is only reported after Verify re-checks
+// every machine against the cost model.
+func (e *Env) FigurePlacement(sizes []int) ([]FigPRow, error) {
+	ctx := context.Background()
+	axes := []float64{0.25, 0.5, 0.75, 1.0}
+	rows := make([]FigPRow, 0, len(sizes))
+	for _, n := range sizes {
+		tenants, err := e.FleetTenants(n, 11)
+		if err != nil {
+			return nil, err
+		}
+		grid, err := SyntheticGrid(axes, axes, axes)
+		if err != nil {
+			return nil, err
+		}
+		model := core.NewSharedCostModel(&core.WhatIfModel{Grid: grid}, func(w *core.WorkloadSpec) string {
+			return placement.SpecKey(w)
+		})
+		solver, err := placement.NewSolver(placement.Config{
+			Parallelism: e.Parallelism,
+			Obs:         e.Obs,
+		}, model)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		pl, err := solver.Solve(ctx, tenants)
+		if err != nil {
+			return nil, err
+		}
+		full := time.Since(start)
+		fullStats := pl.Stats
+		fullCost := pl.TotalCost
+		if err := pl.Verify(ctx); err != nil {
+			return nil, fmt.Errorf("experiments: placement verify (%d tenants): %w", n, err)
+		}
+		arrival, err := e.FleetTenants(1, 997)
+		if err != nil {
+			return nil, err
+		}
+		arrival[0].Name = "t-new"
+		start = time.Now()
+		stats, err := pl.Apply(ctx, placement.Event{Type: placement.Arrive, Tenant: arrival[0]})
+		if err != nil {
+			return nil, err
+		}
+		applyDur := time.Since(start)
+		speedup := 0.0
+		if applyDur > 0 {
+			speedup = float64(full) / float64(applyDur)
+		}
+		rows = append(rows, FigPRow{
+			Tenants:       n,
+			Classes:       fullStats.Classes,
+			Machines:      fullStats.Machines,
+			MachineSolves: fullStats.MachineSolves,
+			MemoHits:      fullStats.MemoHits,
+			TotalCost:     fullCost,
+			ApplyDirty:    stats.MachineSolves,
+			ApplyMachines: stats.Machines,
+			Verified:      true,
+			FullSeconds:   full.Seconds(),
+			ApplySeconds:  applyDur.Seconds(),
+			Speedup:       speedup,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigurePlacement renders the placement-scaling figure.
+func FormatFigurePlacement(rows []FigPRow) string {
+	var b strings.Builder
+	b.WriteString("Figure P: fleet placement scaling (cluster -> pack -> per-machine solve)\n")
+	b.WriteString("tenants  classes  machines  solves  memo  fleet-cost  full(s)  apply(s)  speedup\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d  %7d  %8d  %6d  %4d  %10.3f  %7.3f  %8.4f  %7.1fx\n",
+			r.Tenants, r.Classes, r.Machines, r.MachineSolves, r.MemoHits,
+			r.TotalCost, r.FullSeconds, r.ApplySeconds, r.Speedup)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package placement
+
+import "sort"
+
+// group is the unit of clustering: all tenants sharing one feature
+// signature. Grouping first makes the clustering pass O(groups²) instead
+// of O(tenants²) — a fleet of thousands of tenants typically collapses to
+// a few dozen signatures — and makes the outcome independent of tenant
+// order and multiplicity by construction.
+type group struct {
+	sig     string
+	feat    *feature
+	rep     *Tenant // lexicographically smallest member name
+	members []int32 // indices into the name-sorted tenant slice, ascending
+}
+
+// buildGroups partitions tenants by feature signature, returning groups
+// sorted by signature — the canonical clustering input order. ts is the
+// name-sorted tenant slice and feats its parallel feature slice.
+// Features are memoized per spec, so the common case is keyed by
+// *feature pointer and the multi-KB signature string is hashed once per
+// distinct feature, not once per tenant; distinct feature values with
+// equal signatures still land in one group via the signature map.
+func buildGroups(ts []*Tenant, feats []*feature) []*group {
+	byPtr := make(map[*feature]*group)
+	bySig := make(map[string]*group)
+	var groups []*group
+	for i, t := range ts {
+		f := feats[i]
+		g, ok := byPtr[f]
+		if !ok {
+			if g, ok = bySig[f.sig]; !ok {
+				g = &group{sig: f.sig, feat: f, rep: t}
+				bySig[f.sig] = g
+				groups = append(groups, g)
+			}
+			byPtr[f] = g
+		}
+		g.members = append(g.members, int32(i)) // ts name-sorted ⇒ members sorted
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].sig < groups[j].sig })
+	return groups
+}
+
+// workClass is one workload class: a leader group (whose representative
+// tenant prices the whole class) plus every group within the clustering
+// threshold of it.
+type workClass struct {
+	id     int
+	leader *group
+	groups []*group
+}
+
+// clusterClasses runs the deterministic greedy-agglomerative pass: groups
+// are scanned in signature order; each joins the first existing class
+// whose leader is within the threshold, else founds a new class. The
+// outcome depends only on the set of signatures present — never on tenant
+// order, arrival order, or multiplicity — which is what makes an
+// incremental re-solve bit-identical to a from-scratch one.
+func (s *Solver) clusterClasses(groups []*group) []*workClass {
+	var classes []*workClass
+	for _, g := range groups {
+		joined := false
+		for _, c := range classes {
+			if distance(c.leader.feat, g.feat) <= s.cfg.Threshold {
+				c.groups = append(c.groups, g)
+				joined = true
+				break
+			}
+		}
+		if !joined {
+			classes = append(classes, &workClass{id: len(classes), leader: g, groups: []*group{g}})
+		}
+	}
+	return classes
+}

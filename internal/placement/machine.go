@@ -1,0 +1,73 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/vm"
+)
+
+// machineSolve is one memoized per-machine design solution, in the
+// canonical slot order of its key (rep spec key asc). It is immutable
+// once stored: incremental passes read it concurrently.
+type machineSolve struct {
+	key    string
+	shares []vm.Shares
+	costs  []float64
+	total  float64
+}
+
+// machineProblem builds the single-machine design problem for a slot
+// spec list (len >= 2).
+func (s *Solver) machineProblem(specs []*core.WorkloadSpec, parallelism int) *core.Problem {
+	return &core.Problem{
+		Workloads:   specs,
+		Resources:   s.cfg.Resources,
+		Step:        s.cfg.Step,
+		Parallelism: parallelism,
+		Obs:         s.cfg.Obs,
+	}
+}
+
+// solveMachine prices one machine shape. A single-tenant machine gets the
+// whole box (shares 1/1/1) without a search; multi-tenant machines run
+// the configured single-machine solver. Results are deterministic per
+// key, so concurrent solves of the same key are merely wasted work, never
+// divergent answers.
+func (s *Solver) solveMachine(ctx context.Context, key string, specs []*core.WorkloadSpec, parallelism int) (*machineSolve, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("placement: empty machine %q", key)
+	}
+	if len(specs) == 1 {
+		full := vm.Shares{CPU: 1, Memory: 1, IO: 1}
+		c, err := s.model.Cost(ctx, specs[0], full)
+		if err != nil {
+			return nil, err
+		}
+		return &machineSolve{
+			key:    key,
+			shares: []vm.Shares{full},
+			costs:  []float64{c},
+			total:  specWeight(specs[0]) * c,
+		}, nil
+	}
+	p := s.machineProblem(specs, parallelism)
+	var res *core.Result
+	var err error
+	switch s.cfg.Algo {
+	case "dp":
+		res, err = core.SolveDP(ctx, p, s.model)
+	default:
+		res, err = core.SolveGreedy(ctx, p, s.model)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("placement: solving machine %q: %w", key, err)
+	}
+	return &machineSolve{
+		key:    key,
+		shares: res.Allocation,
+		costs:  res.PredictedCosts,
+		total:  res.PredictedTotal,
+	}, nil
+}

@@ -1,0 +1,681 @@
+// Package placement scales the paper's single-machine virtualization
+// design problem to a machine fleet. The paper solves resource shares for
+// N workloads consolidated onto one physical machine; production means
+// thousands of tenants packed across many machines. The pipeline is the
+// CoPhy move — replace brute-force enumeration with compression plus a
+// compact search — applied to the allocation lattice:
+//
+//  1. Workload compression: tenants are clustered into a small number of
+//     representative classes by a deterministic greedy-agglomerative pass
+//     over workload features (normalized-statement support sketches plus a
+//     predicted-cost probe summary), so a 10,000-tenant fleet costs only
+//     O(classes) what-if evaluations.
+//  2. Bin-packing: tenants are placed onto machines first-fit-decreasing
+//     against per-machine CPU/memory/I-O capacity, refined by trying k
+//     deterministic packing orders and keeping the cheapest fleet.
+//  3. Per-machine solve: each machine's share matrix comes from the
+//     existing single-machine solvers (SolveGreedy/SolveDP) evaluated once
+//     per distinct class multiset and memoized, so repeated machine
+//     configurations are cache hits and incremental re-solves touch only
+//     the dirty machines.
+//
+// Every step is a pure, order-independent function of the tenant set and
+// the configuration, so an incremental Placement.Apply (tenant arrive /
+// leave / drift) is bit-identical to a from-scratch solve of the final
+// tenant set — the memo only changes how fast the answer arrives, never
+// what it is.
+package placement
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/obs"
+	"dbvirt/internal/telemetry"
+	"dbvirt/internal/vm"
+)
+
+// Always-on fleet metrics (see internal/obs); the placement.* rows of the
+// metric catalog.
+var (
+	mSolveCount      = obs.Global.Counter("placement.solve.count")
+	mApplyCount      = obs.Global.Counter("placement.apply.count")
+	mMachineSolves   = obs.Global.Counter("placement.machine.solves")
+	mMachineMemoHits = obs.Global.Counter("placement.machine.memo_hits")
+	mDirtyMachines   = obs.Global.Counter("placement.dirty.machines")
+	mMachinesReused  = obs.Global.Counter("placement.machines.reused")
+	mNormalizeReused = obs.Global.Counter("placement.normalize.reused")
+	hSolveSeconds    = obs.Global.Histogram("placement.solve.seconds")
+	hApplySeconds    = obs.Global.Histogram("placement.apply.seconds")
+	gTenants         = obs.Global.Gauge("placement.tenants")
+	gClasses         = obs.Global.Gauge("placement.classes")
+	gMachines        = obs.Global.Gauge("placement.machines")
+)
+
+// Tenant is one fleet tenant: a workload spec plus optional telemetry.
+// When Sketch or CostSummary are nil the solver derives them from the
+// spec (normalized-statement sketch, starvation-probe cost vector) and
+// memoizes the derivation per spec, so interned specs — as the server's
+// workload registry hands out — are featurized once per fleet, not once
+// per tenant.
+type Tenant struct {
+	Name string
+	Spec *core.WorkloadSpec
+	// Sketch, if non-nil, is the tenant's observed normalized-statement
+	// heavy-hitter sketch (internal/telemetry top-k), e.g. from the
+	// serving-side telemetry hub.
+	Sketch *telemetry.TopK
+	// CostSummary, if non-empty, is the tenant's observed predicted-cost
+	// summary (e.g. a telemetry reservoir mean vector). Tenants whose
+	// summaries differ never share a class.
+	CostSummary []float64
+}
+
+// MachineCaps bounds one machine. CPU/Memory/IO are capacities in demand
+// units — the tenant's predicted seconds under the matching starvation
+// probe — with 0 meaning unlimited; MaxTenants bounds consolidation
+// degree (the N of the per-machine design problem).
+type MachineCaps struct {
+	CPU        float64
+	Memory     float64
+	IO         float64
+	MaxTenants int
+}
+
+func (c MachineCaps) cap(r int) float64 {
+	switch r {
+	case 0:
+		return c.CPU
+	case 1:
+		return c.Memory
+	default:
+		return c.IO
+	}
+}
+
+// Config parameterizes a Solver. The zero value is usable: 4 tenants per
+// machine, CPU-share search at step 1/8 (the paper's illustrative regime),
+// greedy per-machine solves, 3 packing orders.
+type Config struct {
+	// Machine is the per-machine capacity envelope.
+	Machine MachineCaps
+	// Threshold is the clustering distance threshold in [0, 1): two
+	// workload features merge into one class when both their sketch
+	// total-variation distance and their relative cost-vector distance
+	// are at or below it. 0 clusters only identical features.
+	Threshold float64
+	// Step is the share quantum of each per-machine search grid.
+	Step float64
+	// Resources lists the per-machine dimensions being optimized; the
+	// others are split equally (default CPU only, as in the paper's
+	// illustrative experiment).
+	Resources []vm.Resource
+	// Algo selects the per-machine solver: "greedy" (default) or "dp".
+	Algo string
+	// Orders is the number of deterministic packing orders tried
+	// (first-fit-decreasing plus Orders-1 seeded shuffles); the cheapest
+	// fleet wins, ties to the lowest order index.
+	Orders int
+	// Parallelism bounds the workers fanned over dirty machines (and over
+	// feature probes); 0 means runtime.GOMAXPROCS(0). Results are
+	// identical at every setting.
+	Parallelism int
+	// SketchK is the top-k capacity of derived statement sketches.
+	SketchK int
+	// Seed keys the packing-order shuffles.
+	Seed uint64
+	// Obs receives spans/logs; nil disables both (metrics are always on).
+	Obs *obs.Telemetry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine.MaxTenants == 0 {
+		c.Machine.MaxTenants = 4
+	}
+	if c.Step == 0 {
+		c.Step = 0.125
+	}
+	if len(c.Resources) == 0 {
+		c.Resources = []vm.Resource{vm.CPU}
+	}
+	if c.Algo == "" {
+		c.Algo = "greedy"
+	}
+	if c.Orders == 0 {
+		c.Orders = 3
+	}
+	if c.SketchK == 0 {
+		c.SketchK = 32
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Machine.MaxTenants < 1 {
+		return fmt.Errorf("placement: max tenants per machine %d < 1", c.Machine.MaxTenants)
+	}
+	if c.Machine.CPU < 0 || c.Machine.Memory < 0 || c.Machine.IO < 0 {
+		return fmt.Errorf("placement: negative machine capacity")
+	}
+	if c.Threshold < 0 || c.Threshold >= 1 {
+		return fmt.Errorf("placement: threshold %g out of range [0, 1)", c.Threshold)
+	}
+	if c.Algo != "greedy" && c.Algo != "dp" {
+		return fmt.Errorf("placement: unknown per-machine algorithm %q", c.Algo)
+	}
+	if c.Orders < 1 || c.Orders > 64 {
+		return fmt.Errorf("placement: orders %d out of range [1, 64]", c.Orders)
+	}
+	if c.Step <= 0 || c.Step > 0.5 {
+		return fmt.Errorf("placement: step %g out of range (0, 0.5]", c.Step)
+	}
+	if units := 1 / c.Step; math.Abs(units-math.Round(units)) > 1e-9 {
+		return fmt.Errorf("placement: step %g must divide 1 evenly", c.Step)
+	}
+	if c.Step*float64(c.Machine.MaxTenants) > 1+1e-9 {
+		return fmt.Errorf("placement: step %g infeasible for %d tenants per machine",
+			c.Step, c.Machine.MaxTenants)
+	}
+	return nil
+}
+
+// SpecKey maps a workload spec to its pricing identity — the same
+// discipline as the server's shared cost-model key: specs with equal keys
+// MUST price identically under the cost model. Machine memo keys are
+// multisets of SpecKeys, so they survive reclustering and tenant renames.
+func SpecKey(w *core.WorkloadSpec) string {
+	return fmt.Sprintf("%s|w=%.9f|slo=%.9f", w.Name, w.Weight, w.SLOSeconds)
+}
+
+// Solver owns the fleet-placement memos: per-spec feature derivations
+// (sketch + probe costs) and per-class-multiset machine solves. It is
+// safe for concurrent use; one Solver should live as long as its cost
+// model so arrivals/departures re-price only what changed.
+type Solver struct {
+	cfg   Config
+	model core.CostModel
+
+	mu       sync.Mutex
+	sketches map[*core.WorkloadSpec]*telemetry.TopK
+	probes   map[*core.WorkloadSpec][]float64
+	feats    map[*core.WorkloadSpec]*feature
+	// repIDs interns class-representative SpecKeys to dense ids; solves
+	// memoizes per-machine solutions keyed by the compact sorted-id
+	// multiset encoding (see appendCompactKey).
+	repIDs map[string]int
+	solves map[string]*machineSolve
+}
+
+// NewSolver creates a fleet solver over the given per-tenant cost model
+// (typically a core.SharedCostModel so probe and solver evaluations are
+// shared process-wide).
+func NewSolver(cfg Config, model core.CostModel) (*Solver, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("placement: nil cost model")
+	}
+	return &Solver{
+		cfg:      cfg,
+		model:    model,
+		sketches: make(map[*core.WorkloadSpec]*telemetry.TopK),
+		probes:   make(map[*core.WorkloadSpec][]float64),
+		feats:    make(map[*core.WorkloadSpec]*feature),
+		repIDs:   make(map[string]int),
+		solves:   make(map[string]*machineSolve),
+	}, nil
+}
+
+func (s *Solver) workers() int {
+	if s.cfg.Parallelism > 0 {
+		return s.cfg.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PlacedTenant is one tenant's seat on a machine: its class, its resource
+// shares from the machine's solved allocation, and its predicted cost at
+// those shares.
+type PlacedTenant struct {
+	Name   string    `json:"name"`
+	Class  int       `json:"class"`
+	Shares vm.Shares `json:"shares"`
+	Cost   float64   `json:"cost"`
+}
+
+// Machine is one packed machine: its class-multiset memo key, its seated
+// tenants in canonical slot order, and the solved objective total.
+type Machine struct {
+	ID        int            `json:"id"`
+	Key       string         `json:"key"`
+	Tenants   []PlacedTenant `json:"tenants"`
+	TotalCost float64        `json:"total_cost"`
+}
+
+// ClassInfo describes one workload class of the compression step.
+type ClassInfo struct {
+	ID      int      `json:"id"`
+	Rep     string   `json:"rep"` // representative tenant name
+	Size    int      `json:"size"`
+	Members []string `json:"members"`
+}
+
+// SolveStats summarizes one placement pass.
+type SolveStats struct {
+	Tenants int `json:"tenants"`
+	Classes int `json:"classes"`
+	Machines int `json:"machines"`
+	// MachineSolves counts fresh per-machine solver runs this pass (the
+	// dirty-machine worklist length); MemoHits counts distinct machine
+	// keys answered from the memo instead.
+	MachineSolves int `json:"machine_solves"`
+	MemoHits      int `json:"memo_hits"`
+	// ReusedMachines counts placed machines whose solve predated this
+	// pass.
+	ReusedMachines int `json:"reused_machines"`
+	Orders         int `json:"orders"`
+}
+
+// Placement is a solved fleet: classes, machines, and the fleet objective
+// total (the sum of verified per-machine solver totals — TotalCost is
+// never synthesized from class counts alone).
+type Placement struct {
+	Classes   []ClassInfo `json:"classes"`
+	Machines  []Machine   `json:"machines"`
+	TotalCost float64     `json:"total_cost"`
+	// Order is the packing order that won the best-of-k refinement.
+	Order int        `json:"order"`
+	Stats SolveStats `json:"stats"`
+
+	solver *Solver
+	// tenants is the fleet in sorted-name order; seqs holds the shuffled
+	// packing sequences over it. Both are maintained incrementally across
+	// Apply so a warm re-solve pays no fleet-wide sorts.
+	tenants []*Tenant
+	seqs    [][]seqEnt
+	reps    []*core.WorkloadSpec // class id → representative spec
+}
+
+// Tenants returns the placed tenant names in sorted order.
+func (pl *Placement) Tenants() []string {
+	names := make([]string, len(pl.tenants))
+	for i, t := range pl.tenants {
+		names[i] = t.Name
+	}
+	return names
+}
+
+// Solve places the tenant fleet from scratch (modulo the solver's memos,
+// which change speed, never results).
+func (s *Solver) Solve(ctx context.Context, tenants []*Tenant) (*Placement, error) {
+	start := time.Now()
+	sp := s.cfg.Obs.Span("placement.solve")
+	defer sp.End()
+	ts, err := sortTenants(tenants)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := s.place(ctx, ts, nil)
+	if err != nil {
+		return nil, err
+	}
+	mSolveCount.Inc()
+	hSolveSeconds.Observe(time.Since(start).Seconds())
+	sp.SetArg("tenants", pl.Stats.Tenants)
+	sp.SetArg("classes", pl.Stats.Classes)
+	sp.SetArg("machines", pl.Stats.Machines)
+	sp.SetArg("machine_solves", pl.Stats.MachineSolves)
+	return pl, nil
+}
+
+// sortTenants validates a tenant list and returns it as a fresh
+// name-sorted slice, rejecting duplicates.
+func sortTenants(tenants []*Tenant) ([]*Tenant, error) {
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("placement: no tenants")
+	}
+	ts := append([]*Tenant(nil), tenants...)
+	for i, t := range ts {
+		if err := validTenant(t); err != nil {
+			return nil, fmt.Errorf("placement: tenant %d: %w", i, err)
+		}
+	}
+	slices.SortFunc(ts, func(a, b *Tenant) int { return strings.Compare(a.Name, b.Name) })
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Name == ts[i-1].Name {
+			return nil, fmt.Errorf("placement: duplicate tenant name %q", ts[i].Name)
+		}
+	}
+	return ts, nil
+}
+
+func validTenant(t *Tenant) error {
+	if t == nil {
+		return fmt.Errorf("nil tenant")
+	}
+	if t.Name == "" {
+		return fmt.Errorf("empty tenant name")
+	}
+	if t.Spec == nil {
+		return fmt.Errorf("%s: nil workload spec", t.Name)
+	}
+	if t.Spec.DB == nil {
+		return fmt.Errorf("%s: spec has no database", t.Name)
+	}
+	if len(t.Spec.Statements) == 0 {
+		return fmt.Errorf("%s: spec has no statements", t.Name)
+	}
+	return nil
+}
+
+// place runs the full pipeline — features, compression, packing, machine
+// solves — over an already-validated name-sorted tenant slice. seqs, if
+// non-nil, are the shuffled packing sequences maintained incrementally by
+// Apply (nil rebuilds them by sorting). It is the shared core of Solve
+// and Apply and is a deterministic function of (tenant contents, config);
+// the memos and maintained sequences are value-transparent.
+func (s *Solver) place(ctx context.Context, ts []*Tenant, seqs [][]seqEnt) (*Placement, error) {
+	feats, err := s.features(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	groups := buildGroups(ts, feats)
+	classes := s.clusterClasses(groups)
+
+	// Per-class packing/pricing metadata; classOfIdx maps each tenant
+	// index to its class so the pack loops never touch a map.
+	meta := make([]classMeta, len(classes))
+	classMembers := make([][]int32, len(classes))
+	classOfIdx := make([]int32, len(ts))
+	s.mu.Lock()
+	for ci, c := range classes {
+		rk := SpecKey(c.leader.rep.Spec)
+		id, ok := s.repIDs[rk]
+		if !ok {
+			id = len(s.repIDs)
+			s.repIDs[rk] = id
+		}
+		n := 0
+		for _, g := range c.groups {
+			n += len(g.members)
+		}
+		members := make([]int32, 0, n)
+		for _, g := range c.groups {
+			members = append(members, g.members...)
+		}
+		slices.Sort(members) // ascending ts index == ascending name
+		for _, m := range members {
+			classOfIdx[m] = int32(ci)
+		}
+		classMembers[ci] = members
+		meta[ci] = classMeta{
+			repKey: rk,
+			repID:  id,
+			rep:    c.leader.rep,
+			demand: c.leader.feat.demand,
+			scalar: c.leader.feat.scalar,
+		}
+	}
+	s.mu.Unlock()
+	rankOrder := make([]int, len(classes))
+	for i := range rankOrder {
+		rankOrder[i] = i
+	}
+	sort.Slice(rankOrder, func(i, j int) bool {
+		a, b := rankOrder[i], rankOrder[j]
+		if meta[a].repKey != meta[b].repKey {
+			return meta[a].repKey < meta[b].repKey
+		}
+		return a < b
+	})
+	for r, ci := range rankOrder {
+		meta[ci].rank = r
+	}
+
+	if seqs == nil {
+		seqs = s.buildSeqs(ts)
+	}
+
+	// Try every packing order. Machine keys are interned to dense ids as
+	// they are built, so each key is hashed once per packed machine and
+	// every later use — memo lookup, total, result build — is a slice
+	// index.
+	type packResult struct {
+		machines [][]int32
+		keyID    []int
+	}
+	results := make([]packResult, s.cfg.Orders)
+	var (
+		keyStrs []string
+		keyRef  [][]int32 // key id → members of the first machine seen with it
+	)
+	keyIDOf := make(map[string]int)
+	var keyBuf []byte
+	var idsBuf []int
+	order0 := order0Sequence(classMembers, meta)
+	for o := range results {
+		seq := order0
+		if o > 0 {
+			sq := seqs[o-1]
+			seq = make([]int32, len(sq))
+			for i, e := range sq {
+				seq[i] = e.idx
+			}
+		}
+		ms := s.pack(seq, classOfIdx, meta)
+		ids := make([]int, len(ms))
+		for i, m := range ms {
+			keyBuf, idsBuf = appendCompactKey(keyBuf, idsBuf, m, classOfIdx, meta)
+			id, ok := keyIDOf[string(keyBuf)] // no alloc: compiler-optimized lookup
+			if !ok {
+				id = len(keyStrs)
+				k := string(keyBuf)
+				keyIDOf[k] = id
+				keyStrs = append(keyStrs, k)
+				keyRef = append(keyRef, m)
+			}
+			ids[i] = id
+		}
+		results[o] = packResult{machines: ms, keyID: ids}
+	}
+
+	// Dirty-machine worklist: the keys no prior pass has solved, in
+	// deterministic order, fanned over the worker pool.
+	sols := make([]*machineSolve, len(keyStrs))
+	preSolved := make([]bool, len(keyStrs))
+	var missing []int
+	s.mu.Lock()
+	for id, k := range keyStrs {
+		if ms, ok := s.solves[k]; ok {
+			sols[id] = ms
+			preSolved[id] = true
+		} else {
+			missing = append(missing, id)
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(missing, func(i, j int) bool { return keyStrs[missing[i]] < keyStrs[missing[j]] })
+	memoHits := len(keyStrs) - len(missing)
+	if len(missing) > 0 {
+		workers := s.workers()
+		inner := 1
+		if len(missing) == 1 {
+			inner = workers // one dirty machine: give it the whole pool
+		}
+		if err := core.ParallelFor(ctx, workers, len(missing), func(_, i int) error {
+			id := missing[i]
+			slot := slotMembers(keyRef[id], classOfIdx, meta, ts)
+			specs := make([]*core.WorkloadSpec, len(slot))
+			for j, ti := range slot {
+				specs[j] = meta[classOfIdx[ti]].rep.Spec
+			}
+			ms, err := s.solveMachine(ctx, keyStrs[id], specs, inner)
+			if err != nil {
+				return err
+			}
+			sols[id] = ms
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		for _, id := range missing {
+			s.solves[keyStrs[id]] = sols[id]
+		}
+		s.mu.Unlock()
+	}
+	mMachineSolves.Add(int64(len(missing)))
+	mMachineMemoHits.Add(int64(memoHits))
+
+	// Pick the cheapest order; ties break to the lowest order index, so
+	// the winner is a deterministic function of the tenant set.
+	bestOrder, bestTotal := -1, 0.0
+	for o, r := range results {
+		total := 0.0
+		for _, id := range r.keyID {
+			total += sols[id].total
+		}
+		if bestOrder < 0 || total < bestTotal {
+			bestOrder, bestTotal = o, total
+		}
+	}
+	win := results[bestOrder]
+	machines := make([]Machine, len(win.machines))
+	reused := 0
+	fleetTotal := 0.0
+	for mi, members := range win.machines {
+		id := win.keyID[mi]
+		sol := sols[id]
+		slot := slotMembers(members, classOfIdx, meta, ts)
+		seats := make([]PlacedTenant, len(slot))
+		for i, ti := range slot {
+			seats[i] = PlacedTenant{
+				Name:   ts[ti].Name,
+				Class:  int(classOfIdx[ti]),
+				Shares: sol.shares[i],
+				Cost:   sol.costs[i],
+			}
+		}
+		machines[mi] = Machine{ID: mi, Key: displayKey(slot, classOfIdx, meta), Tenants: seats, TotalCost: sol.total}
+		fleetTotal += sol.total
+		if preSolved[id] {
+			reused++
+		}
+	}
+	mMachinesReused.Add(int64(reused))
+
+	infos := make([]ClassInfo, len(classes))
+	reps := make([]*core.WorkloadSpec, len(classes))
+	for i, c := range classes {
+		ms := classMembers[i]
+		members := make([]string, len(ms))
+		for j, ti := range ms {
+			members[j] = ts[ti].Name
+		}
+		infos[i] = ClassInfo{ID: c.id, Rep: c.leader.rep.Name, Size: len(members), Members: members}
+		reps[i] = c.leader.rep.Spec
+	}
+
+	pl := &Placement{
+		Classes:   infos,
+		Machines:  machines,
+		TotalCost: fleetTotal,
+		Order:     bestOrder,
+		Stats: SolveStats{
+			Tenants:        len(ts),
+			Classes:        len(classes),
+			Machines:       len(machines),
+			MachineSolves:  len(missing),
+			MemoHits:       memoHits,
+			ReusedMachines: reused,
+			Orders:         s.cfg.Orders,
+		},
+		solver:  s,
+		tenants: ts,
+		seqs:    seqs,
+		reps:    reps,
+	}
+	gTenants.Set(float64(pl.Stats.Tenants))
+	gClasses.Set(float64(pl.Stats.Classes))
+	gMachines.Set(float64(pl.Stats.Machines))
+	return pl, nil
+}
+
+// Verify re-evaluates every machine's chosen allocation directly through
+// the cost model and checks the recomputed per-tenant costs, machine
+// totals, and fleet total are bit-identical to what the placement
+// reports. It is the guarantee behind TotalCost: the fleet objective is
+// never reported without per-machine solver results that re-verify.
+func (pl *Placement) Verify(ctx context.Context) error {
+	s := pl.solver
+	if s == nil {
+		return fmt.Errorf("placement: not produced by a Solver")
+	}
+	fleet := 0.0
+	for _, m := range pl.Machines {
+		specs := make([]*core.WorkloadSpec, len(m.Tenants))
+		alloc := make(core.Allocation, len(m.Tenants))
+		for i, pt := range m.Tenants {
+			if pt.Class < 0 || pt.Class >= len(pl.reps) {
+				return fmt.Errorf("placement: machine %d tenant %s: unknown class %d", m.ID, pt.Name, pt.Class)
+			}
+			specs[i] = pl.reps[pt.Class]
+			alloc[i] = pt.Shares
+		}
+		total := 0.0
+		costs := make([]float64, len(specs))
+		if len(specs) == 1 {
+			c, err := s.model.Cost(ctx, specs[0], alloc[0])
+			if err != nil {
+				return err
+			}
+			costs[0] = c
+			total = specWeight(specs[0]) * c
+		} else {
+			p := s.machineProblem(specs, 1)
+			res, err := core.EvaluateAllocation(ctx, p, s.model, alloc, "placement-verify")
+			if err != nil {
+				return err
+			}
+			copy(costs, res.PredictedCosts)
+			total = res.PredictedTotal
+		}
+		for i, pt := range m.Tenants {
+			if costs[i] != pt.Cost {
+				return fmt.Errorf("placement: machine %d tenant %s: cost %v != verified %v",
+					m.ID, pt.Name, pt.Cost, costs[i])
+			}
+		}
+		if total != m.TotalCost {
+			return fmt.Errorf("placement: machine %d: total %v != verified %v", m.ID, m.TotalCost, total)
+		}
+		fleet += m.TotalCost
+	}
+	if fleet != pl.TotalCost {
+		return fmt.Errorf("placement: fleet total %v != verified %v", pl.TotalCost, fleet)
+	}
+	return nil
+}
+
+func specWeight(w *core.WorkloadSpec) float64 {
+	if w.Weight <= 0 {
+		return 1
+	}
+	return w.Weight
+}

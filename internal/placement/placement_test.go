@@ -1,0 +1,441 @@
+package placement
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/engine"
+	"dbvirt/internal/vm"
+)
+
+// stubModel prices a workload deterministically from its spec name and
+// shares: each family has a fixed resource appetite, so solves, probes,
+// and clustering are reproducible without a real engine.
+type stubModel struct{ calls int64 }
+
+func (m *stubModel) Name() string { return "stub" }
+func (m *stubModel) Cost(_ context.Context, w *core.WorkloadSpec, s vm.Shares) (float64, error) {
+	m.calls++
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(w.Name); i++ {
+		h = (h ^ uint64(w.Name[i])) * 1099511628211
+	}
+	a := float64(h%7+1) / 7  // cpu appetite
+	b := float64(h%5+1) / 5  // memory appetite
+	c := float64(h%3+1) / 3  // io appetite
+	return a/s.CPU + b/s.Memory + c/s.IO, nil
+}
+
+// families are the distinct workload shapes of the test fleet; tenants of
+// one family share one interned spec pointer, as the server's workload
+// registry guarantees.
+var familyStatements = map[string][]string{
+	"alpha": {"SELECT a FROM t WHERE a = 1", "SELECT a FROM t WHERE a = 2"},
+	"beta":  {"SELECT b, c FROM u WHERE b < 10"},
+	"gamma": {"SELECT count(*) FROM v GROUP BY g", "SELECT count(*) FROM v GROUP BY h"},
+	"delta": {"SELECT x FROM w ORDER BY x"},
+	"eps":   {"SELECT y FROM z WHERE y >= 5", "SELECT y FROM z WHERE y >= 6", "SELECT y FROM z WHERE y >= 7"},
+}
+
+type fleet struct {
+	specs map[string]*core.WorkloadSpec
+}
+
+func newFleet() *fleet {
+	f := &fleet{specs: make(map[string]*core.WorkloadSpec)}
+	for fam, stmts := range familyStatements {
+		f.specs[fam] = &core.WorkloadSpec{Name: fam, Statements: stmts, DB: engine.NewDatabase()}
+	}
+	return f
+}
+
+// tenants builds n tenants cycling deterministically over the families.
+func (f *fleet) tenants(n int) []*Tenant {
+	fams := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	out := make([]*Tenant, n)
+	for i := range out {
+		fam := fams[i%len(fams)]
+		out[i] = &Tenant{Name: fmt.Sprintf("t%04d", i), Spec: f.specs[fam]}
+	}
+	return out
+}
+
+func newTestSolver(t *testing.T, cfg Config) (*Solver, *stubModel) {
+	t.Helper()
+	model := &stubModel{}
+	s, err := NewSolver(cfg, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, model
+}
+
+// view strips a placement to its deterministic exported content.
+type view struct {
+	Classes   []ClassInfo
+	Machines  []Machine
+	TotalCost float64
+	Order     int
+}
+
+func viewOf(pl *Placement) view {
+	return view{Classes: pl.Classes, Machines: pl.Machines, TotalCost: pl.TotalCost, Order: pl.Order}
+}
+
+func TestSolveBasic(t *testing.T) {
+	f := newFleet()
+	s, _ := newTestSolver(t, Config{Parallelism: 2})
+	pl, err := s.Solve(context.Background(), f.tenants(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Stats.Tenants != 20 {
+		t.Fatalf("tenants = %d, want 20", pl.Stats.Tenants)
+	}
+	if pl.Stats.Classes < 2 || pl.Stats.Classes > 5 {
+		t.Fatalf("classes = %d, want 2..5 for 5 families", pl.Stats.Classes)
+	}
+	seated := 0
+	seen := map[string]bool{}
+	for _, m := range pl.Machines {
+		if len(m.Tenants) == 0 || len(m.Tenants) > 4 {
+			t.Fatalf("machine %d has %d tenants", m.ID, len(m.Tenants))
+		}
+		var cpu float64
+		for _, pt := range m.Tenants {
+			if seen[pt.Name] {
+				t.Fatalf("tenant %s seated twice", pt.Name)
+			}
+			seen[pt.Name] = true
+			seated++
+			cpu += pt.Shares.CPU
+			if pt.Cost <= 0 {
+				t.Fatalf("tenant %s has non-positive cost", pt.Name)
+			}
+		}
+		if len(m.Tenants) > 1 && cpu > 1+1e-9 {
+			t.Fatalf("machine %d CPU shares sum to %v", m.ID, cpu)
+		}
+	}
+	if seated != 20 {
+		t.Fatalf("seated %d of 20 tenants", seated)
+	}
+	if err := pl.Verify(context.Background()); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+// TestPermutationInvariance: the same tenant set in any order yields
+// identical classes and an identical placement (the clustering and
+// packing pipeline is order-independent by construction).
+func TestPermutationInvariance(t *testing.T) {
+	f := newFleet()
+	base := f.tenants(40)
+	s1, _ := newTestSolver(t, Config{})
+	pl1, err := s1.Solve(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5; trial++ {
+		perm := append([]*Tenant(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		s2, _ := newTestSolver(t, Config{})
+		pl2, err := s2.Solve(context.Background(), perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(viewOf(pl1), viewOf(pl2)) {
+			t.Fatalf("trial %d: permuted solve diverged:\n%+v\nvs\n%+v", trial, viewOf(pl1), viewOf(pl2))
+		}
+	}
+}
+
+// TestParallelDeterminism: the placement is identical at every worker
+// count (the dirty-machine fan-out writes into pre-indexed slots).
+func TestParallelDeterminism(t *testing.T) {
+	f := newFleet()
+	tenants := f.tenants(32)
+	var ref view
+	for i, par := range []int{1, 4, 16} {
+		s, _ := newTestSolver(t, Config{Parallelism: par})
+		pl, err := s.Solve(context.Background(), tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = viewOf(pl)
+			continue
+		}
+		if !reflect.DeepEqual(ref, viewOf(pl)) {
+			t.Fatalf("parallelism %d diverged from serial", par)
+		}
+	}
+}
+
+// TestIdenticalFeatureMergeProperty: merging tenants whose sketches (and
+// cost summaries) are identical never increases the class count — they
+// share a feature signature, hence a group, hence a class.
+func TestIdenticalFeatureMergeProperty(t *testing.T) {
+	f := newFleet()
+	rng := rand.New(rand.NewSource(7))
+	fams := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(20)
+		tenants := make([]*Tenant, 0, n+1)
+		for i := 0; i < n; i++ {
+			fam := fams[rng.Intn(len(fams))]
+			tenants = append(tenants, &Tenant{Name: fmt.Sprintf("r%03d", i), Spec: f.specs[fam]})
+		}
+		s1, _ := newTestSolver(t, Config{})
+		before, err := s1.Solve(context.Background(), tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Duplicate a random existing tenant's workload under a new name:
+		// identical spec ⇒ identical sketch and probe summary.
+		dup := tenants[rng.Intn(len(tenants))]
+		tenants = append(tenants, &Tenant{Name: "r-dup", Spec: dup.Spec})
+		s2, _ := newTestSolver(t, Config{})
+		after, err := s2.Solve(context.Background(), tenants)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Stats.Classes > before.Stats.Classes {
+			t.Fatalf("trial %d: class count grew %d -> %d after duplicating %s",
+				trial, before.Stats.Classes, after.Stats.Classes, dup.Name)
+		}
+		var dupClass, origClass = -1, -1
+		for _, c := range after.Classes {
+			for _, m := range c.Members {
+				if m == "r-dup" {
+					dupClass = c.ID
+				}
+				if m == dup.Name {
+					origClass = c.ID
+				}
+			}
+		}
+		if dupClass != origClass {
+			t.Fatalf("trial %d: identical-sketch tenants in classes %d and %d", trial, dupClass, origClass)
+		}
+	}
+}
+
+// TestApplyBitIdenticalToFreshSolve: a chain of arrive/leave/drift events
+// applied incrementally matches a from-scratch solve of the final tenant
+// set exactly — same classes, same machines, same shares, same costs.
+func TestApplyBitIdenticalToFreshSolve(t *testing.T) {
+	f := newFleet()
+	tenants := f.tenants(24)
+	s, _ := newTestSolver(t, Config{Parallelism: 4})
+	pl, err := s.Solve(context.Background(), tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	steps := []Event{
+		{Type: Arrive, Tenant: &Tenant{Name: "t9000", Spec: f.specs["alpha"]}},
+		{Type: Arrive, Tenant: &Tenant{Name: "t9001", Spec: f.specs["beta"]}},
+		{Type: Leave, Name: "t0003"},
+		{Type: Drift, Tenant: &Tenant{Name: "t0004", Spec: f.specs["gamma"]}},
+		{Type: Leave, Name: "t9000"},
+	}
+	for i, ev := range steps {
+		if _, err := pl.Apply(ctx, ev); err != nil {
+			t.Fatalf("event %d (%s): %v", i, ev.Type, err)
+		}
+	}
+
+	final := make([]*Tenant, 0, len(tenants))
+	for _, tn := range tenants {
+		switch tn.Name {
+		case "t0003":
+			continue
+		case "t0004":
+			final = append(final, &Tenant{Name: "t0004", Spec: f.specs["gamma"]})
+		default:
+			final = append(final, tn)
+		}
+	}
+	final = append(final, &Tenant{Name: "t9001", Spec: f.specs["beta"]})
+
+	fresh, _ := newTestSolver(t, Config{Parallelism: 4})
+	ref, err := fresh.Solve(ctx, final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viewOf(ref), viewOf(pl)) {
+		t.Fatalf("incremental placement != from-scratch solve:\nincremental %+v\nfresh       %+v",
+			viewOf(pl), viewOf(ref))
+	}
+	if err := pl.Verify(ctx); err != nil {
+		t.Fatalf("verify after events: %v", err)
+	}
+}
+
+// TestApplyDirtyBounded: one arrival into a large warm fleet re-solves
+// only a bounded set of machine shapes (the spill around the insertion
+// point), not the fleet.
+func TestApplyDirtyBounded(t *testing.T) {
+	f := newFleet()
+	s, _ := newTestSolver(t, Config{})
+	pl, err := s.Solve(context.Background(), f.tenants(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := pl.Apply(context.Background(),
+		Event{Type: Arrive, Tenant: &Tenant{Name: "t9999", Spec: f.specs["delta"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spill is bounded by the pack-boundary shapes each order can
+	// invent — O(classes * orders) — and must stay far below the fleet
+	// size (50 machines here; a full cold solve prices every shape).
+	bound := pl.Stats.Classes*pl.Stats.Orders + 2
+	if stats.MachineSolves > bound {
+		t.Fatalf("arrival dirtied %d machine shapes, want <= %d (classes*orders+2)", stats.MachineSolves, bound)
+	}
+	if stats.MachineSolves >= stats.Machines/2 {
+		t.Fatalf("arrival dirtied %d shapes for %d machines; not incremental", stats.MachineSolves, stats.Machines)
+	}
+	if stats.ReusedMachines < stats.Machines*3/4 {
+		t.Fatalf("only %d of %d machines reused after one arrival", stats.ReusedMachines, stats.Machines)
+	}
+}
+
+// TestCapacityPacking: CPU-demand capacity splits the fleet across more
+// machines, and no machine exceeds its caps (except a lone tenant that
+// cannot fit anywhere).
+func TestCapacityPacking(t *testing.T) {
+	f := newFleet()
+	probeDemand := func(s *Solver, spec *core.WorkloadSpec) [3]float64 {
+		costs, err := s.probedCosts(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return [3]float64{costs[1], costs[2], costs[3]}
+	}
+	uncapped, _ := newTestSolver(t, Config{})
+	plFree, err := uncapped.Solve(context.Background(), f.tenants(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := MachineCaps{CPU: 4.0, MaxTenants: 4}
+	capped, _ := newTestSolver(t, Config{Machine: caps})
+	pl, err := capped.Solve(context.Background(), f.tenants(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl.Machines) < len(plFree.Machines) {
+		t.Fatalf("capped fleet uses fewer machines (%d) than uncapped (%d)",
+			len(pl.Machines), len(plFree.Machines))
+	}
+	for _, m := range pl.Machines {
+		if len(m.Tenants) > caps.MaxTenants {
+			t.Fatalf("machine %d holds %d tenants > cap %d", m.ID, len(m.Tenants), caps.MaxTenants)
+		}
+		if len(m.Tenants) == 1 {
+			continue
+		}
+		var cpu float64
+		for _, pt := range m.Tenants {
+			spec := pl.reps[pt.Class]
+			cpu += probeDemand(capped, spec)[0]
+		}
+		if cpu > caps.CPU+1e-9 {
+			t.Fatalf("machine %d CPU demand %v exceeds cap %v", m.ID, cpu, caps.CPU)
+		}
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	f := newFleet()
+	s, _ := newTestSolver(t, Config{})
+	pl, err := s.Solve(context.Background(), f.tenants(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Verify(context.Background()); err != nil {
+		t.Fatalf("clean verify failed: %v", err)
+	}
+	pl.Machines[0].Tenants[0].Cost *= 1.5
+	if err := pl.Verify(context.Background()); err == nil {
+		t.Fatal("verify accepted a corrupted per-tenant cost")
+	}
+}
+
+func TestEventValidation(t *testing.T) {
+	f := newFleet()
+	s, _ := newTestSolver(t, Config{})
+	pl, err := s.Solve(context.Background(), f.tenants(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	bad := []Event{
+		{Type: Arrive, Tenant: &Tenant{Name: "t0001", Spec: f.specs["alpha"]}}, // duplicate
+		{Type: Arrive, Tenant: nil},
+		{Type: Leave, Name: "nope"},
+		{Type: Drift, Tenant: &Tenant{Name: "nope", Spec: f.specs["alpha"]}},
+		{Type: EventType(99)},
+	}
+	before := viewOf(pl)
+	for i, ev := range bad {
+		_, err := pl.Apply(ctx, ev)
+		if err == nil {
+			t.Fatalf("case %d: bad event accepted", i)
+		}
+		if !IsEventError(err) {
+			t.Fatalf("case %d: error %v not marked as event error", i, err)
+		}
+		if !reflect.DeepEqual(before, viewOf(pl)) {
+			t.Fatalf("case %d: failed event mutated the placement", i)
+		}
+	}
+	// Emptying the fleet is rejected too.
+	evs := make([]Event, 0, 4)
+	for _, n := range pl.Tenants() {
+		evs = append(evs, Event{Type: Leave, Name: n})
+	}
+	if _, err := pl.Apply(ctx, evs...); err == nil {
+		t.Fatal("emptying the fleet was accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	model := &stubModel{}
+	bad := []Config{
+		{Threshold: 1.5},
+		{Algo: "magic"},
+		{Orders: -1},
+		{Step: 0.3},                              // doesn't divide 1 (caught by core at solve; range here)
+		{Step: 0.5, Machine: MachineCaps{MaxTenants: 4}}, // 4 * 0.5 > 1
+		{Machine: MachineCaps{CPU: -1}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSolver(cfg, model); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := NewSolver(Config{}, nil); err == nil {
+		t.Error("nil model accepted")
+	}
+}
+
+func TestNormalizeReuseCounter(t *testing.T) {
+	f := newFleet()
+	s, _ := newTestSolver(t, Config{Parallelism: 1})
+	before := mNormalizeReused.Value()
+	if _, err := s.Solve(context.Background(), f.tenants(25)); err != nil {
+		t.Fatal(err)
+	}
+	// 25 tenants over 5 interned specs: 5 sketch builds, 20 memo reuses.
+	if got := mNormalizeReused.Value() - before; got != 20 {
+		t.Fatalf("placement.normalize.reused grew by %d, want 20", got)
+	}
+}

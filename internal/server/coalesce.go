@@ -79,9 +79,13 @@ func (c *coalescer) do(ctx context.Context, key string, compute func() ([]byte, 
 	close(e.done)
 
 	c.mu.Lock()
-	if e.err != nil {
+	if e.err != nil || c.maxDone < 0 {
 		// Do not memoize failures (timeouts, transient model errors): the
-		// next identical request deserves a fresh attempt.
+		// next identical request deserves a fresh attempt. A negative
+		// maxDone never memoizes at all — only concurrent identical
+		// requests coalesce, which is what stateful endpoints (placement)
+		// need: replaying a completed body later could hand out state that
+		// subsequent events have already superseded.
 		delete(c.entries, key)
 	} else {
 		c.fifo = append(c.fifo, key)

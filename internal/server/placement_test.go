@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbvirt/internal/obs"
+)
+
+const placementBody = `{"tenants":[{"query":"Q4","count":6},{"query":"Q13","name":"q13","count":6}]}`
+
+func postPlacement(t *testing.T, h http.Handler, body string) *PlacementResponse {
+	t.Helper()
+	rec := post(t, h, "/v1/placement", body)
+	if rec.Code != 200 {
+		t.Fatalf("placement: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp PlacementResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+func TestPlacementValidation(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+	cases := []struct {
+		name, path, body string
+		wantSubstr       string
+	}{
+		{"malformed json", "/v1/placement", `{`, "malformed"},
+		{"unknown field", "/v1/placement", `{"tenant":[]}`, "unknown field"},
+		{"no tenants", "/v1/placement", `{"tenants":[]}`, "no tenants"},
+		{"unknown query", "/v1/placement", `{"tenants":[{"query":"Q99"}]}`, "unknown query"},
+		{"count range", "/v1/placement", `{"tenants":[{"query":"Q4","count":2000}]}`, "count"},
+		{"fleet too large", "/v1/placement",
+			`{"tenants":[{"query":"Q4","count":1024},{"query":"Q13","count":1024},{"query":"Q6","count":1024},{"query":"Q1","count":1024},{"query":"Q3","count":1024}]}`,
+			"too many tenants"},
+		{"bad algo", "/v1/placement", `{"tenants":[{"query":"Q4"}],"algo":"annealing"}`, "unknown algo"},
+		{"bad resource", "/v1/placement", `{"tenants":[{"query":"Q4"}],"resources":["gpu"]}`, "unknown resource"},
+		{"negative timeout", "/v1/placement", `{"tenants":[{"query":"Q4"}],"timeout_ms":-1}`, "timeout"},
+		{"bad threshold", "/v1/placement", `{"tenants":[{"query":"Q4"}],"threshold":2}`, "threshold"},
+		{"bad step", "/v1/placement", `{"tenants":[{"query":"Q4"}],"step":0.3}`, "step"},
+		{"no events", "/v1/placement/events", `{"events":[]}`, "no events"},
+		{"unknown event type", "/v1/placement/events", `{"events":[{"type":"migrate"}]}`, "unknown type"},
+		{"leave without name", "/v1/placement/events", `{"events":[{"type":"leave"}]}`, "tenant name"},
+		{"arrive without tenant", "/v1/placement/events", `{"events":[{"type":"arrive"}]}`, "needs a tenant"},
+		{"arrive with count", "/v1/placement/events",
+			`{"events":[{"type":"arrive","tenant":{"query":"Q4","count":2}}]}`, "one tenant per event"},
+		{"event unknown query", "/v1/placement/events",
+			`{"events":[{"type":"arrive","tenant":{"query":"Q99"}}]}`, "unknown query"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, h, tc.path, tc.body)
+			if rec.Code != 400 {
+				t.Fatalf("status %d, want 400 (body %s)", rec.Code, rec.Body)
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("non-JSON error body: %s", rec.Body)
+			}
+			if !strings.Contains(e.Error, tc.wantSubstr) {
+				t.Fatalf("error %q does not mention %q", e.Error, tc.wantSubstr)
+			}
+		})
+	}
+
+	// Too many events is checked before anything touches state.
+	var evs []string
+	for i := 0; i < maxPlacementEvents+1; i++ {
+		evs = append(evs, fmt.Sprintf(`{"type":"leave","name":"t%d"}`, i))
+	}
+	rec := post(t, h, "/v1/placement/events", `{"events":[`+strings.Join(evs, ",")+`]}`)
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "too many events") {
+		t.Fatalf("oversized events: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestPlacementSolveAndEvents(t *testing.T) {
+	s := newTestServer(t, nil)
+	h := s.Handler()
+
+	// Events against an empty server: nothing to apply them to.
+	rec := post(t, h, "/v1/placement/events", `{"events":[{"type":"leave","name":"q13-0000"}]}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("events before placement: status %d, want 409 (%s)", rec.Code, rec.Body)
+	}
+
+	resp := postPlacement(t, h, placementBody)
+	if !resp.Verified {
+		t.Fatal("placement response not verified")
+	}
+	if resp.Stats.Tenants != 12 {
+		t.Fatalf("tenants = %d, want 12", resp.Stats.Tenants)
+	}
+	if resp.TotalCost <= 0 || len(resp.Machines) == 0 || len(resp.Classes) == 0 {
+		t.Fatalf("degenerate placement: %+v", resp)
+	}
+	seats := 0
+	for _, m := range resp.Machines {
+		seats += len(m.Tenants)
+	}
+	if seats != 12 {
+		t.Fatalf("seated tenants = %d, want 12", seats)
+	}
+	if st, ok := s.plStats(); !ok || st.Tenants != 12 {
+		t.Fatalf("server placement state: %+v ok=%v", st, ok)
+	}
+
+	// One arrival, one departure, applied incrementally.
+	rec = post(t, h, "/v1/placement/events",
+		`{"events":[{"type":"arrive","tenant":{"query":"Q6","name":"newt"}},{"type":"leave","name":"q13-0005"}]}`)
+	if rec.Code != 200 {
+		t.Fatalf("events: status %d: %s", rec.Code, rec.Body)
+	}
+	var after PlacementResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.Events != 2 || !after.Verified || after.Stats.Tenants != 12 {
+		t.Fatalf("post-events placement: events=%d verified=%v tenants=%d",
+			after.Events, after.Verified, after.Stats.Tenants)
+	}
+
+	// The incrementally updated placement must be bit-identical to solving
+	// the final fleet from scratch: same classes, machines, and fleet cost.
+	fresh := postPlacement(t, h,
+		`{"tenants":[{"query":"Q4","count":6},{"query":"Q13","name":"q13","count":5},{"query":"Q6","name":"newt"}]}`)
+	for _, cmp := range []struct {
+		name      string
+		got, want any
+	}{
+		{"classes", after.Classes, fresh.Classes},
+		{"machines", after.Machines, fresh.Machines},
+		{"total_cost", after.TotalCost, fresh.TotalCost},
+		{"order", after.Order, fresh.Order},
+	} {
+		got, _ := json.Marshal(cmp.got)
+		want, _ := json.Marshal(cmp.want)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("incremental %s diverge from fresh solve:\n got %s\nwant %s", cmp.name, got, want)
+		}
+	}
+
+	// Caller mistakes in otherwise well-formed events are 400s, and the
+	// placement is left untouched.
+	rec = post(t, h, "/v1/placement/events", `{"events":[{"type":"leave","name":"nope"}]}`)
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "unknown tenant") {
+		t.Fatalf("leave unknown: status %d: %s", rec.Code, rec.Body)
+	}
+	rec = post(t, h, "/v1/placement/events",
+		`{"events":[{"type":"arrive","tenant":{"query":"Q6","name":"newt"}}]}`)
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "already present") {
+		t.Fatalf("duplicate arrive: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestPlacementNormalizeReuse is the end-to-end check that fleet
+// placement rides the interned-spec normalization cache: tenants sharing
+// a workload are featurized once per spec, every other one counted by
+// placement.normalize.reused.
+func TestPlacementNormalizeReuse(t *testing.T) {
+	s := newTestServer(t, nil)
+	reused := obs.Global.Counter("placement.normalize.reused")
+	before := reused.Value()
+	resp := postPlacement(t, s.Handler(), `{"tenants":[{"query":"Q4","count":8},{"query":"Q13","count":8}]}`)
+	if resp.Stats.Tenants != 16 {
+		t.Fatalf("tenants = %d, want 16", resp.Stats.Tenants)
+	}
+	// 16 tenants over 2 interned specs: at least 14 feature derivations
+	// must be cache hits, not fresh normalization passes.
+	if delta := reused.Value() - before; delta < 14 {
+		t.Fatalf("placement.normalize.reused grew by %d, want >= 14", delta)
+	}
+}
+
+func TestPlacementAdmission429(t *testing.T) {
+	_, grid := testEnv(t)
+	gate := newGateModel(grid)
+	s := newTestServer(t, func(c *Config) {
+		c.Model = gate
+		c.MaxInflight = 1
+		c.MaxQueue = 1
+		c.RetryAfter = 2 * time.Second
+	})
+	h := s.Handler()
+
+	// Distinct seeds: identical bodies would coalesce instead of queueing.
+	body := func(i int) string {
+		return fmt.Sprintf(`{"tenants":[{"query":"Q4","count":2}],"seed":%d}`, i+1)
+	}
+	var wg sync.WaitGroup
+	statuses := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			statuses[i] = post(t, h, "/v1/placement", body(i)).Code
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gate.calls.Load() == 0 || s.lim.pressure.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation never reached (calls=%d pressure=%d)", gate.calls.Load(), s.lim.pressure.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rec := post(t, h, "/v1/placement", body(2))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", rec.Code, rec.Body)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want \"2\"", ra)
+	}
+
+	close(gate.release)
+	wg.Wait()
+	for i, code := range statuses {
+		if code != 200 {
+			t.Fatalf("request %d: status %d, want 200", i, code)
+		}
+	}
+}
+
+func TestPlacementCoalesceInflightOnly(t *testing.T) {
+	_, grid := testEnv(t)
+	gate := newGateModel(grid)
+	s := newTestServer(t, func(c *Config) { c.Model = gate })
+	h := s.Handler()
+
+	joinsBefore := mCoalesceInflight.Value()
+	const n = 4
+	var wg sync.WaitGroup
+	bodies := make([][]byte, n)
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := post(t, h, "/v1/placement", placementBody)
+			codes[i], bodies[i] = rec.Code, rec.Body.Bytes()
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for gate.calls.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no leader reached the model")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(gate.release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if codes[i] != 200 {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("request %d: body differs from request 0", i)
+		}
+	}
+	if joins := mCoalesceInflight.Value() - joinsBefore; joins < n-1 {
+		t.Fatalf("in-flight joins = %d, want >= %d", joins, n-1)
+	}
+
+	// In-flight only: an identical request arriving after completion must
+	// recompute (a memoized replay could hand out a placement that later
+	// events superseded). Recomputation is visible as fresh model calls.
+	calls := gate.calls.Load()
+	if rec := post(t, h, "/v1/placement", placementBody); rec.Code != 200 {
+		t.Fatalf("follow-up placement: status %d: %s", rec.Code, rec.Body)
+	}
+	if gate.calls.Load() == calls {
+		t.Fatal("follow-up identical placement was served from a memo; want recompute")
+	}
+}

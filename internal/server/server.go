@@ -162,6 +162,12 @@ type Server struct {
 	started time.Time
 	hWindow *obs.WindowedHistogram // sliding-window request latency
 
+	// plCol coalesces identical in-flight placement solves only — no
+	// completed-response memo, because a solve also replaces plState and
+	// replaying stale bytes would desynchronize the two.
+	plCol   *coalescer
+	plState placementState
+
 	draining atomic.Bool
 	inflight sync.WaitGroup // tracked /v1/* requests, for drain
 }
@@ -178,6 +184,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		col:     newCoalescer(cfg.CoalesceMemo),
+		plCol:   newCoalescer(-1),
 		lim:     newLimiter(cfg.MaxInflight, cfg.MaxQueue),
 		started: time.Now(),
 		hWindow: obs.Global.Window("server.http.window.seconds", 6, cfg.RequestWindow/6),
@@ -206,6 +213,8 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/whatif", s.instrument("whatif", s.track(s.handleWhatIf)))
 	s.mux.Handle("POST /v1/solve", s.instrument("solve", s.track(s.handleSolve)))
+	s.mux.Handle("POST /v1/placement", s.instrument("placement", s.track(s.handlePlacement)))
+	s.mux.Handle("POST /v1/placement/events", s.instrument("placement_events", s.track(s.handlePlacementEvents)))
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.track(s.handleJobCancel)))
 	s.mux.Handle("GET /v1/calibration/grid", s.instrument("grid", s.handleGrid))

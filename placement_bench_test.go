@@ -1,0 +1,104 @@
+package dbvirt_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"dbvirt/internal/core"
+	"dbvirt/internal/experiments"
+	"dbvirt/internal/placement"
+)
+
+// fleetSize is the BENCH_9 regime: >= 1,000 tenants at paper scale, a
+// smaller fleet under -short (CI).
+func fleetSize() int {
+	if testing.Short() {
+		return 300
+	}
+	return 1000
+}
+
+// newFleetSolver builds a cold fleet solver: fresh synthetic grid, fresh
+// what-if model (empty prepared-statement cache), fresh shared cost
+// memo — the from-scratch baseline an incremental Apply is measured
+// against.
+func newFleetSolver(b *testing.B, e *experiments.Env) *placement.Solver {
+	b.Helper()
+	axes := []float64{0.25, 0.5, 0.75, 1.0}
+	grid, err := experiments.SyntheticGrid(axes, axes, axes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := core.NewSharedCostModel(&core.WhatIfModel{Grid: grid}, func(w *core.WorkloadSpec) string {
+		return placement.SpecKey(w)
+	})
+	solver, err := placement.NewSolver(placement.Config{}, model)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return solver
+}
+
+// BenchmarkPlacementFleet measures fleet placement at BENCH_9 scale:
+//
+//   - full: a from-scratch solve — cold solver, cold cost model — of the
+//     whole fleet, the cost a naive controller pays per fleet change.
+//   - incremental: a single fleet event per iteration (alternating one
+//     tenant arrival and its departure) applied to a warm placement via
+//     Placement.Apply, which re-solves only the dirty machine shapes
+//     against the solver's memos.
+//
+// The ns/op ratio full/incremental is therefore the per-event speedup;
+// the CI placement-bench job asserts it stays >= 5x, and BENCH_9.json
+// records the measured value.
+func BenchmarkPlacementFleet(b *testing.B) {
+	e := sharedEnv(b)
+	ctx := context.Background()
+	n := fleetSize()
+	tenants, err := e.FleetTenants(n, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			solver := newFleetSolver(b, e)
+			pl, err := solver.Solve(ctx, tenants)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := pl.Verify(ctx); err != nil {
+				b.Fatal(err)
+			}
+			if pl.Stats.Tenants != n {
+				b.Fatalf("placed %d of %d tenants", pl.Stats.Tenants, n)
+			}
+		}
+	})
+
+	b.Run("incremental", func(b *testing.B) {
+		solver := newFleetSolver(b, e)
+		pl, err := solver.Solve(ctx, tenants)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra, err := e.FleetTenants(1, 997)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extra[0].Name = "t-extra"
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ev := placement.Event{Type: placement.Arrive, Tenant: extra[0]}
+			if i%2 == 1 {
+				ev = placement.Event{Type: placement.Leave, Name: "t-extra"}
+			}
+			if _, err := pl.Apply(ctx, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	emit("placement", fmt.Sprintf("placement fleet: %d tenants\n", n))
+}
