@@ -24,7 +24,7 @@ import (
 var closeObs = func() error { return nil }
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, w (write sensitivity), p (fleet placement), or all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 4, 5, w (write sensitivity), p (fleet placement), c (closed-loop control), or all")
 	ablations := flag.Bool("ablations", false, "also run the ablation and extension studies")
 	quick := flag.Bool("quick", false, "run at reduced scale")
 	jobs := flag.Int("j", 0, "worker-pool size for calibration and search (0 = GOMAXPROCS)")
@@ -133,6 +133,18 @@ func main() {
 				return err
 			}
 			fmt.Print(experiments.FormatFigurePlacement(rows))
+			fmt.Println()
+			return nil
+		})
+	}
+
+	if *fig == "c" || *fig == "all" {
+		run("figure control", func() error {
+			rows, err := env.FigureControl(6, 10)
+			if err != nil {
+				return err
+			}
+			fmt.Print(experiments.FormatFigureControl(rows))
 			fmt.Println()
 			return nil
 		})

@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dbvirt/internal/autotune"
+	"dbvirt/internal/obs"
+)
+
+// TestAutotuneEndToEnd is the closed-loop soak test at the process
+// boundary: it builds the real binary, starts it with the autotuner in
+// trigger-only mode (deterministic drive shaft), and runs a two-phase
+// workload trace against the real HTTP surface.
+//
+// Phase 1: both tenants send the same Q4 traffic. The equal split is
+// the optimum, so the controller must hold still — zero actuations.
+//
+// Phase 2: tenant w2's traffic collapses to cheap point lookups
+// (QPOINT) while w1 keeps running Q4. The drift detector alarms, the
+// re-solve finds the 0.75/0.25 CPU split (~17% predicted gain), and the
+// decision layer must actuate exactly once — then hold the new optimum
+// through further ticks (no flapping).
+//
+// This is the contract the CI autotune-e2e job enforces.
+func TestAutotuneEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the vdtuned binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "vdtuned")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	defer os.Remove(bin)
+
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	cmd := exec.Command(bin,
+		"-addr", addr, "-scale", "tiny", "-telemetry-window", "8",
+		"-autotune", "-autotune-workloads", "w1=Q4x2,w2=Q4x2",
+		"-autotune-interval", "0", // tick only via POST /v1/autotune/trigger
+		"-autotune-min-gain", "0.05", "-autotune-confirm", "2",
+		"-autotune-cooldown", "4",
+	)
+	var stderr bytes.Buffer
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	ready := make(chan struct{})
+	var mu sync.Mutex
+	var out bytes.Buffer
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		once := sync.Once{}
+		for sc.Scan() {
+			mu.Lock()
+			fmt.Fprintln(&out, sc.Text())
+			mu.Unlock()
+			if strings.Contains(sc.Text(), "listening on") {
+				once.Do(func() { close(ready) })
+			}
+		}
+	}()
+	readLogs := func() string {
+		mu.Lock()
+		defer mu.Unlock()
+		return out.String() + stderr.String()
+	}
+	select {
+	case <-ready:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("daemon never reported readiness; output:\n%s", readLogs())
+	}
+
+	base := "http://" + addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	post := func(path, body string) []byte {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: status %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+	// traffic posts one what-if round for a tenant: 4 requests x repeat 2
+	// = 8 sketch updates, exactly one telemetry window.
+	traffic := func(tenant, query string) {
+		body := fmt.Sprintf(`{"workloads":[{"name":%q,"query":%q,"repeat":2}],
+			"allocations":[{"cpu":0.5,"memory":0.5,"io":0.5}]}`, tenant, query)
+		for i := 0; i < 4; i++ {
+			post("/v1/whatif", body)
+		}
+	}
+	tick := func() autotune.Decision {
+		var d autotune.Decision
+		if err := json.Unmarshal(post("/v1/autotune/trigger", ""), &d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	status := func() autotune.Status {
+		resp, err := client.Get(base + "/v1/autotune/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st autotune.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Phase 1: symmetric traffic. The controller must hold the equal
+	// split through every tick.
+	for round := 0; round < 6; round++ {
+		traffic("w1", "Q4")
+		traffic("w2", "Q4")
+		if d := tick(); d.Action == autotune.ActionApplied {
+			t.Fatalf("phase 1 round %d actuated on symmetric traffic: %+v", round, d)
+		}
+	}
+	st := status()
+	if st.Actuations != 0 || st.Ticks != 6 {
+		t.Fatalf("phase 1 status: %+v", st)
+	}
+	if st.Allocation[0].CPU != 0.5 || st.Allocation[1].CPU != 0.5 {
+		t.Fatalf("phase 1 moved shares: %+v", st.Allocation)
+	}
+
+	// Phase 2: w2's mix shifts to point lookups. Exactly one
+	// reconfiguration episode, within the hysteresis budget.
+	var applied *autotune.Decision
+	appliedRound := -1
+	for round := 0; round < 8; round++ {
+		traffic("w1", "Q4")
+		traffic("w2", "QPOINT")
+		if d := tick(); d.Action == autotune.ActionApplied {
+			if applied != nil {
+				t.Fatalf("second actuation at round %d (first at %d): flapping\n%+v", round, appliedRound, d)
+			}
+			dd := d
+			applied, appliedRound = &dd, round
+		}
+	}
+	if applied == nil {
+		t.Fatalf("phase 2 never actuated; status: %+v\nlogs:\n%s", status(), readLogs())
+	}
+	if appliedRound > 4 {
+		t.Fatalf("actuation took %d rounds, want within the hysteresis budget", appliedRound+1)
+	}
+	if applied.Gain < 0.05 {
+		t.Fatalf("applied gain %g below the configured threshold", applied.Gain)
+	}
+
+	// Converged shares: w1 (still running real scans) holds the larger
+	// CPU share, and the split is the solver's 0.75/0.25 answer.
+	st = status()
+	if st.Actuations != 1 {
+		t.Fatalf("actuations = %d, want exactly 1", st.Actuations)
+	}
+	if st.Allocation[0].CPU <= st.Allocation[1].CPU {
+		t.Fatalf("shares did not shift toward the scan tenant: %+v", st.Allocation)
+	}
+	if st.Allocation[0].CPU != 0.75 {
+		t.Fatalf("w1 CPU = %g, want 0.75", st.Allocation[0].CPU)
+	}
+
+	// The episode must be drift-driven: some decision saw the alarm.
+	sawAlarm := false
+	for _, d := range st.Decisions {
+		if len(d.Alarmed) > 0 {
+			sawAlarm = true
+		}
+	}
+	if !sawAlarm {
+		t.Fatalf("no decision observed a drift alarm; log: %+v", st.Decisions)
+	}
+
+	// Decision-log coherence: ticks strictly increase, actions are from
+	// the closed set, and every priced decision's current allocation sums
+	// to the full machine.
+	validActions := map[string]bool{
+		autotune.ActionApplied: true, autotune.ActionSuppressed: true,
+		autotune.ActionSkipped: true, autotune.ActionError: true,
+	}
+	var prevTick int64
+	for i, d := range st.Decisions {
+		if d.Tick <= prevTick {
+			t.Fatalf("decision %d tick %d not increasing (prev %d)", i, d.Tick, prevTick)
+		}
+		prevTick = d.Tick
+		if !validActions[d.Action] {
+			t.Fatalf("decision %d has unknown action %q", i, d.Action)
+		}
+		if d.Action == autotune.ActionError {
+			t.Fatalf("decision %d errored: %s", i, d.Err)
+		}
+		if len(d.Current) == 2 {
+			if sum := d.Current[0].CPU + d.Current[1].CPU; sum < 0.99 || sum > 1.01 {
+				t.Fatalf("decision %d current CPU sums to %g", i, sum)
+			}
+		}
+	}
+
+	// Post-episode stability: more ticks on the settled mix must not
+	// move anything.
+	for round := 0; round < 3; round++ {
+		traffic("w1", "Q4")
+		traffic("w2", "QPOINT")
+		if d := tick(); d.Action == autotune.ActionApplied {
+			t.Fatalf("post-convergence actuation: %+v", d)
+		}
+	}
+
+	// The autotune metric family must be visible on /metrics.
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	promBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	samples, err := obs.ParsePrometheusText(bytes.NewReader(promBody))
+	if err != nil {
+		t.Fatalf("invalid Prometheus exposition: %v", err)
+	}
+	if v, ok := samples["autotune_ticks"]; !ok || v.Value < 17 {
+		t.Fatalf("autotune_ticks = %+v, want >= 17", v)
+	}
+	if v, ok := samples["autotune_actuations"]; !ok || v.Value != 1 {
+		t.Fatalf("autotune_actuations = %+v, want exactly 1", v)
+	}
+
+	cmd.Process.Kill()
+	cmd.Wait()
+}

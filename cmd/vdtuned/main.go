@@ -10,6 +10,12 @@
 //	vdtuned [-addr :8080] [-scale small] [-grid grid.json | -checkpoint ck.json | -calibrate]
 //	        [-faults spec] [-max-inflight N] [-max-queue N] [-job-workers N]
 //	        [-drain-timeout 30s] [-j N]
+//	        [-autotune -autotune-workloads "w1=Q4x2,w2=Q13x2" [-autotune-interval 10s] ...]
+//
+// With -autotune, vdtuned also runs the closed-loop controller from
+// internal/autotune over a managed deployment (one VM per named
+// workload), steered by the same telemetry sketches the what-if traffic
+// feeds. See GET /v1/autotune/status and DESIGN.md §15.
 //
 // Grid sources, in priority order: -grid loads a grid saved with
 // SaveJSON; -checkpoint serves a completed calibration checkpoint;
@@ -25,6 +31,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -58,6 +66,16 @@ func main() {
 	jobs := flag.Int("j", 0, "solver parallelism (0 = GOMAXPROCS)")
 	teleWindow := flag.Int("telemetry-window", 0, "sketch updates per drift window (0 = default 64)")
 	reqWindow := flag.Duration("request-window", time.Minute, "span of the sliding-window request-latency histogram")
+	atEnable := flag.Bool("autotune", false, "run the closed-loop autotuning controller")
+	atWorkloads := flag.String("autotune-workloads", "", `managed tenants as "name=QUERYxN,..." (requires -autotune)`)
+	atInterval := flag.Duration("autotune-interval", 10*time.Second, "control-loop tick period (0 = tick only via POST /v1/autotune/trigger)")
+	atStep := flag.Float64("autotune-step", 0.25, "share-grid quantum for autotune re-solves")
+	atResolveEvery := flag.Int("autotune-resolve-every", 1, "re-solve every Nth tick absent a drift alarm")
+	atMinGain := flag.Float64("autotune-min-gain", 0.05, "minimum predicted relative gain before actuation")
+	atConfirm := flag.Int("autotune-confirm", 2, "consecutive qualifying evaluations required (hysteresis)")
+	atCooldown := flag.Int("autotune-cooldown", 8, "ticks to hold after an actuation")
+	atMaxStep := flag.Float64("autotune-max-step", 0.25, "max per-resource share change in one actuation")
+	atChangeCost := flag.Float64("autotune-change-cost", 0, "cost-of-change penalty per unit of moved share mass")
 	var oflags obs.Flags
 	oflags.Register(flag.CommandLine)
 	flag.Parse()
@@ -105,6 +123,28 @@ func main() {
 		fail("%v", err)
 	}
 
+	var atOpts *server.AutotuneOptions
+	if *atEnable {
+		refs, err := parseAutotuneWorkloads(*atWorkloads)
+		if err != nil {
+			fail("%v", err)
+		}
+		atOpts = &server.AutotuneOptions{
+			Workloads:     refs,
+			Interval:      *atInterval,
+			Step:          *atStep,
+			ResolveEvery:  *atResolveEvery,
+			MinGain:       *atMinGain,
+			ConfirmTicks:  *atConfirm,
+			CooldownTicks: *atCooldown,
+			MaxStepDelta:  *atMaxStep,
+			ChangeCost:    *atChangeCost,
+			Enabled:       true,
+		}
+	} else if *atWorkloads != "" {
+		fail("-autotune-workloads requires -autotune")
+	}
+
 	srv, err := server.New(server.Config{
 		Env:            env,
 		Grid:           grid,
@@ -117,6 +157,7 @@ func main() {
 		Obs:            tel,
 		Telemetry:      telemetry.NewHub(telemetry.Config{Window: *teleWindow}),
 		RequestWindow:  *reqWindow,
+		Autotune:       atOpts,
 	})
 	if err != nil {
 		fail("%v", err)
@@ -184,6 +225,32 @@ func loadGrid(env *experiments.Env, gridPath, ckPath string, calibrate bool, fau
 	default:
 		return experiments.SyntheticGrid(defaultAxes, defaultAxes, defaultAxes)
 	}
+}
+
+// parseAutotuneWorkloads parses "-autotune-workloads" specs of the form
+// "name=QUERY" or "name=QUERYxN", comma-separated. The repeat suffix is
+// the last 'x' followed by digits, matching the canonical QUERYxN
+// tenant-naming convention used elsewhere in the API.
+func parseAutotuneWorkloads(spec string) ([]server.WorkloadRef, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-autotune requires -autotune-workloads (e.g. \"w1=Q4x2,w2=Q13x2\")")
+	}
+	var refs []server.WorkloadRef
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		name, q, ok := strings.Cut(part, "=")
+		if !ok || name == "" || q == "" {
+			return nil, fmt.Errorf("-autotune-workloads: %q is not name=QUERY[xN]", part)
+		}
+		ref := server.WorkloadRef{Name: name, Query: q}
+		if i := strings.LastIndexByte(q, 'x'); i > 0 && i < len(q)-1 {
+			if n, err := strconv.Atoi(q[i+1:]); err == nil {
+				ref.Query, ref.Repeat = q[:i], n
+			}
+		}
+		refs = append(refs, ref)
+	}
+	return refs, nil
 }
 
 func fail(format string, args ...any) {

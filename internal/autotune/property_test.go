@@ -1,0 +1,249 @@
+package autotune
+
+// Property tests for the decision layer, over seeded randomized decision
+// traces. A trace is fixed — the same (allocation, cost) inputs are
+// replayed against differently-configured deciders — which is what makes
+// the hysteresis-monotonicity property well-defined.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dbvirt/internal/core"
+)
+
+type traceStep struct {
+	cur, cand         core.Allocation
+	curCost, candCost float64
+}
+
+// randomTrace builds n steps of two-workload CPU reallocation proposals:
+// random candidate deltas and random relative gains in [-10%, +35%].
+func randomTrace(seed int64, n int) []traceStep {
+	rng := rand.New(rand.NewSource(seed))
+	steps := make([]traceStep, n)
+	for i := range steps {
+		cur := core.EqualAllocation(2)
+		curShift := 0.3 * (rng.Float64() - 0.5)
+		cur[0].CPU += curShift
+		cur[1].CPU -= curShift
+		delta := 0.05 + 0.6*rng.Float64()
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		cand := cur.Clone()
+		cand[0].CPU = clamp(cur[0].CPU+delta, 0.05, 0.95)
+		cand[1].CPU = 1 - cand[0].CPU
+		curCost := 5 + 10*rng.Float64()
+		gain := -0.10 + 0.45*rng.Float64()
+		steps[i] = traceStep{
+			cur:      cur,
+			cand:     cand,
+			curCost:  curCost,
+			candCost: curCost * (1 - gain),
+		}
+	}
+	return steps
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, v))
+}
+
+// replay runs one decider over a fixed trace and returns the verdicts.
+func replay(cfg DeciderConfig, trace []traceStep) []Verdict {
+	d := NewDecider(cfg)
+	out := make([]Verdict, len(trace))
+	for i, s := range trace {
+		out[i] = d.Decide(int64(i+1), s.cur, s.cand, s.curCost, s.candCost)
+	}
+	return out
+}
+
+func countApplied(vs []Verdict) int {
+	n := 0
+	for _, v := range vs {
+		if v.Apply {
+			n++
+		}
+	}
+	return n
+}
+
+// TestHysteresisMonotone: raising the gain threshold never increases the
+// actuation count on a fixed trace. This is the no-surprises contract of
+// the tuning knob — operators tightening MinGain to calm the loop must
+// never make it *more* active.
+func TestHysteresisMonotone(t *testing.T) {
+	thresholds := []float64{0.001, 0.02, 0.05, 0.10, 0.15, 0.25, 0.40}
+	for seed := int64(1); seed <= 12; seed++ {
+		trace := randomTrace(seed, 400)
+		prev := math.MaxInt32
+		for _, th := range thresholds {
+			got := countApplied(replay(DeciderConfig{
+				MinGain:       th,
+				ConfirmTicks:  3,
+				CooldownTicks: 7,
+				MaxStepDelta:  0.25,
+				ChangeCost:    1.0,
+			}, trace))
+			if got > prev {
+				t.Fatalf("seed %d: raising MinGain to %g increased actuations (%d > %d)", seed, th, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestConfirmTicksMonotone: deeper hysteresis (more required consecutive
+// confirmations) never increases the actuation count either.
+func TestConfirmTicksMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		trace := randomTrace(seed, 300)
+		prev := math.MaxInt32
+		for _, k := range []int{1, 2, 3, 5, 8} {
+			got := countApplied(replay(DeciderConfig{
+				MinGain:       0.05,
+				ConfirmTicks:  k,
+				CooldownTicks: 5,
+				MaxStepDelta:  0.25,
+			}, trace))
+			if got > prev {
+				t.Fatalf("seed %d: raising ConfirmTicks to %d increased actuations (%d > %d)", seed, k, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+// TestCooldownEnforced: consecutive actuations on any trace are spaced
+// by more than CooldownTicks.
+func TestCooldownEnforced(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, cd := range []int64{1, 4, 9} {
+			trace := randomTrace(seed, 300)
+			vs := replay(DeciderConfig{
+				MinGain:       0.02,
+				ConfirmTicks:  1,
+				CooldownTicks: cd,
+				MaxStepDelta:  0.5,
+			}, trace)
+			last := int64(-1)
+			for i, v := range vs {
+				if !v.Apply {
+					continue
+				}
+				tick := int64(i + 1)
+				if last >= 0 && tick-last <= cd {
+					t.Fatalf("seed %d cooldown %d: actuations at ticks %d and %d violate spacing", seed, cd, last, tick)
+				}
+				last = tick
+			}
+		}
+	}
+}
+
+// TestStepSizeClamped: every applied target stays within MaxStepDelta of
+// the current allocation per share, lies on the segment toward the
+// candidate, and preserves the per-resource share sums (feasibility).
+func TestStepSizeClamped(t *testing.T) {
+	const maxStep = 0.2
+	for seed := int64(1); seed <= 12; seed++ {
+		trace := randomTrace(seed, 300)
+		d := NewDecider(DeciderConfig{
+			MinGain:       0.02,
+			ConfirmTicks:  1,
+			CooldownTicks: 1,
+			MaxStepDelta:  maxStep,
+		})
+		for i, s := range trace {
+			v := d.Decide(int64(i+1), s.cur, s.cand, s.curCost, s.candCost)
+			if !v.Apply {
+				continue
+			}
+			if got := maxShareDelta(s.cur, v.Target); got > maxStep+1e-9 {
+				t.Fatalf("seed %d step %d: share delta %g exceeds clamp %g", seed, i, got, maxStep)
+			}
+			if v.StepScale < 0 || v.StepScale > 1 {
+				t.Fatalf("seed %d step %d: step scale %g out of [0,1]", seed, i, v.StepScale)
+			}
+			var sumCPU float64
+			for wi := range v.Target {
+				sumCPU += v.Target[wi].CPU
+				// On-segment: target-cur must equal StepScale*(cand-cur).
+				want := s.cur[wi].CPU + v.StepScale*(s.cand[wi].CPU-s.cur[wi].CPU)
+				if math.Abs(v.Target[wi].CPU-want) > 1e-9 {
+					t.Fatalf("seed %d step %d: target %g off the cur→cand segment (want %g)", seed, i, v.Target[wi].CPU, want)
+				}
+			}
+			if math.Abs(sumCPU-1) > 1e-9 {
+				t.Fatalf("seed %d step %d: clamped target CPU sums to %g, not 1", seed, i, sumCPU)
+			}
+		}
+	}
+}
+
+// TestDeciderStateMachine pins the intended micro-behaviors: streak
+// resets on a below-gain tick, cooldown retains the streak, and the
+// cost-of-change penalty can veto an otherwise-qualifying gain.
+func TestDeciderStateMachine(t *testing.T) {
+	cur := core.EqualAllocation(2)
+	cand := cur.Clone()
+	cand[0].CPU, cand[1].CPU = 0.75, 0.25
+
+	t.Run("hysteresis depth", func(t *testing.T) {
+		d := NewDecider(DeciderConfig{MinGain: 0.05, ConfirmTicks: 3, CooldownTicks: 1})
+		for tick := int64(1); tick <= 2; tick++ {
+			if v := d.Decide(tick, cur, cand, 10, 8); v.Apply || v.Reason != ReasonHysteresis {
+				t.Fatalf("tick %d: %v, want hysteresis suppression", tick, v)
+			}
+		}
+		if v := d.Decide(3, cur, cand, 10, 8); !v.Apply {
+			t.Fatalf("third qualifying tick: %v, want apply", v)
+		}
+	})
+
+	t.Run("below-gain resets streak", func(t *testing.T) {
+		d := NewDecider(DeciderConfig{MinGain: 0.05, ConfirmTicks: 2, CooldownTicks: 1})
+		d.Decide(1, cur, cand, 10, 8)       // qualifying: streak 1
+		v := d.Decide(2, cur, cand, 10, 10) // no gain: reset
+		if v.Reason != ReasonBelowGain {
+			t.Fatalf("flat tick: %v, want below-gain", v)
+		}
+		if v := d.Decide(3, cur, cand, 10, 8); v.Apply || v.Reason != ReasonHysteresis {
+			t.Fatalf("tick after reset: %v, want hysteresis (streak restarted)", v)
+		}
+	})
+
+	t.Run("cooldown retains streak", func(t *testing.T) {
+		d := NewDecider(DeciderConfig{MinGain: 0.05, ConfirmTicks: 1, CooldownTicks: 3})
+		if v := d.Decide(1, cur, cand, 10, 8); !v.Apply {
+			t.Fatalf("first: %v, want apply", v)
+		}
+		for tick := int64(2); tick <= 4; tick++ {
+			if v := d.Decide(tick, cur, cand, 10, 8); v.Apply || v.Reason != ReasonCooldown {
+				t.Fatalf("tick %d: %v, want cooldown suppression", tick, v)
+			}
+		}
+		if v := d.Decide(5, cur, cand, 10, 8); !v.Apply {
+			t.Fatalf("post-cooldown tick: %v, want immediate apply (streak retained)", v)
+		}
+	})
+
+	t.Run("change penalty vetoes marginal win", func(t *testing.T) {
+		// 20% raw gain, but moving 0.25 share mass at ChangeCost 10 charges
+		// 2.5 cost units against a 2-unit improvement: net negative.
+		d := NewDecider(DeciderConfig{MinGain: 0.05, ConfirmTicks: 1, ChangeCost: 10})
+		if v := d.Decide(1, cur, cand, 10, 8); v.Apply || v.Reason != ReasonBelowGain {
+			t.Fatalf("penalized marginal win: %v, want below-gain", v)
+		}
+	})
+
+	t.Run("no-change suppression", func(t *testing.T) {
+		d := NewDecider(DeciderConfig{MinGain: 0.05, ConfirmTicks: 1})
+		if v := d.Decide(1, cur, cur.Clone(), 10, 10); v.Apply || v.Reason != ReasonNoChange {
+			t.Fatalf("identical candidate: %v, want no-change", v)
+		}
+	})
+}

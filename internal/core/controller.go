@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"dbvirt/internal/vm"
 )
@@ -20,6 +21,14 @@ type Controller struct {
 	Solve func(context.Context, *Problem, CostModel) (*Result, error)
 	// History records every reconfiguration decision.
 	History []ControllerStep
+
+	// mu serializes Reconfigure: the autotune loop's periodic actuation
+	// and vdtuned's manual trigger endpoint may call it concurrently, and
+	// both the History append and the lower-then-raise share transition
+	// assume exclusive access to the VMs. Configuration fields (Machine,
+	// Model, Solve) are not protected — set them before sharing the
+	// controller.
+	mu sync.Mutex
 }
 
 // ControllerStep is one reconfiguration decision.
@@ -33,7 +42,10 @@ type ControllerStep struct {
 // matched to workloads positionally. To avoid transient over-commitment,
 // shares are first lowered everywhere, then raised. A cancelled ctx
 // aborts the solve; shares are never half-applied from a cancelled solve.
+// Concurrent callers are serialized.
 func (c *Controller) Reconfigure(ctx context.Context, p *Problem, vms []*vm.VM) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if len(vms) != len(p.Workloads) {
 		return nil, fmt.Errorf("core: %d VMs for %d workloads", len(vms), len(p.Workloads))
 	}

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbvirt/internal/autotune"
 	"dbvirt/internal/calibration"
 	"dbvirt/internal/core"
 	"dbvirt/internal/experiments"
@@ -86,6 +87,10 @@ type Config struct {
 	// latency histogram exposed as server.http.window.seconds (default
 	// 60s, split into 6 slots).
 	RequestWindow time.Duration
+	// Autotune, when set, runs the closed-loop autotuner over a managed
+	// deployment of the named workloads (see AutotuneOptions); nil leaves
+	// the /v1/autotune endpoints answering 404.
+	Autotune *AutotuneOptions
 }
 
 func (c *Config) applyDefaults() error {
@@ -168,6 +173,13 @@ type Server struct {
 	plCol   *coalescer
 	plState placementState
 
+	// tuner is the closed-loop autotuner (nil unless Config.Autotune);
+	// atStop cancels its background ticker, atDone closes when the ticker
+	// goroutine has exited.
+	tuner  *autotune.Loop
+	atStop context.CancelFunc
+	atDone chan struct{}
+
 	draining atomic.Bool
 	inflight sync.WaitGroup // tracked /v1/* requests, for drain
 }
@@ -191,6 +203,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.wl = newWorkloadSet(cfg.Env)
 	s.jobs = newJobManager(cfg.JobWorkers, cfg.JobQueue, cfg.MaxJobs, s.runSolve)
+	if cfg.Autotune != nil {
+		if err := s.initAutotune(cfg.Autotune); err != nil {
+			return nil, err
+		}
+		if cfg.Autotune.Interval > 0 {
+			ctx, cancel := context.WithCancel(context.Background())
+			s.atStop = cancel
+			s.atDone = make(chan struct{})
+			go func() {
+				defer close(s.atDone)
+				s.tuner.Run(ctx, cfg.Autotune.Interval)
+			}()
+		}
+	}
 	s.routes()
 	return s, nil
 }
@@ -218,6 +244,10 @@ func (s *Server) routes() {
 	s.mux.Handle("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
 	s.mux.Handle("DELETE /v1/jobs/{id}", s.instrument("jobs", s.track(s.handleJobCancel)))
 	s.mux.Handle("GET /v1/calibration/grid", s.instrument("grid", s.handleGrid))
+	s.mux.Handle("GET /v1/autotune/status", s.instrument("autotune_status", s.handleAutotuneStatus))
+	s.mux.Handle("POST /v1/autotune/enable", s.instrument("autotune_toggle", s.track(s.handleAutotuneEnable)))
+	s.mux.Handle("POST /v1/autotune/disable", s.instrument("autotune_toggle", s.track(s.handleAutotuneDisable)))
+	s.mux.Handle("POST /v1/autotune/trigger", s.instrument("autotune_trigger", s.track(s.handleAutotuneTrigger)))
 	s.mux.Handle("GET /healthz", http.HandlerFunc(s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", obs.HandleMetricsProm)
 	s.mux.HandleFunc("GET /debug/metrics", obs.HandleMetricsJSON)
@@ -605,6 +635,13 @@ func (s *Server) Drain(ctx context.Context) error {
 		mDrainStarted.Inc()
 		if s.cfg.Obs != nil {
 			s.cfg.Obs.Info("drain started")
+		}
+		// Stop the autotune ticker first: a reconfiguration mid-drain has
+		// nothing left to serve, and the loop's goroutine must not outlive
+		// the server.
+		if s.atStop != nil {
+			s.atStop()
+			<-s.atDone
 		}
 	}
 	if err := s.jobs.drain(ctx); err != nil {

@@ -306,6 +306,24 @@ func (t *Tenant) ObserveResidual(predicted, actual float64) {
 	}
 }
 
+// Mix returns the tenant's current workload mix: the heavy hitters of
+// the most recently closed sketch window, or — before the first rotation
+// has produced one — of the in-progress window. Controllers derive
+// representative workload specs from this, so it prefers the closed
+// window (a complete, stable sample) over the partially-filled current
+// one. Entries come back in the sketch's deterministic order.
+func (t *Tenant) Mix() []TopKEntry {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.prev != nil && t.prev.Total() > 0 {
+		return t.prev.Snapshot()
+	}
+	return t.cur.Snapshot()
+}
+
 // DriftScore returns the smoothed drift score.
 func (t *Tenant) DriftScore() float64 {
 	if t == nil {
